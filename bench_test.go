@@ -1,0 +1,250 @@
+// Benchmarks: one testing.B target per paper table/figure, runnable as
+//
+//	go test -bench=Fig8 -benchmem
+//
+// Each bench runs its experiment at the Quick scale and reports the
+// headline numbers as custom benchmark metrics (e.g. the IPCP geomean
+// speedup), so `go test -bench=.` regenerates every artifact's shape
+// in one sweep. EXPERIMENTS.md records a larger-scale run.
+package ipcp_test
+
+import (
+	"testing"
+
+	"ipcp/internal/experiments"
+)
+
+// benchScale trims the Quick scale a little further so the full bench
+// sweep stays tractable.
+var benchScale = experiments.Scale{
+	Warmup:    10_000,
+	Measure:   30_000,
+	MaxTraces: 5,
+	Mixes:     2,
+	Seed:      1,
+}
+
+// runExperiment executes one experiment per b.N iteration and reports
+// selected row values as metrics.
+func runExperiment(b *testing.B, id string, metrics map[string]metricRef) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchScale)
+		tab, err := e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for name, ref := range metrics {
+				row, ok := tab.Find(ref.row)
+				if !ok {
+					b.Fatalf("%s: row %q missing", id, ref.row)
+				}
+				col := ref.col
+				if col >= len(row.Values) {
+					b.Fatalf("%s: row %q has %d cols", id, ref.row, len(row.Values))
+				}
+				if col < 0 {
+					col = len(row.Values) + col
+				}
+				b.ReportMetric(row.Values[col], name)
+			}
+		}
+	}
+}
+
+type metricRef struct {
+	row string
+	col int // negative = from the end
+}
+
+func BenchmarkFig1(b *testing.B) {
+	runExperiment(b, "fig1", map[string]metricRef{
+		"mlop-at-L1":     {"mlop", 2},
+		"mlop-at-L2":     {"mlop", 0},
+		"ipstride-at-L1": {"ipstride", 2},
+	})
+}
+
+func BenchmarkFig7(b *testing.B) {
+	runExperiment(b, "fig7", map[string]metricRef{
+		"ipcp-geomean": {"geomean", -1},
+		"nl-geomean":   {"geomean", 0},
+	})
+}
+
+func BenchmarkFig8(b *testing.B) {
+	runExperiment(b, "fig8", map[string]metricRef{
+		"ipcp-geomean-mi":   {"geomean (mem-intensive)", -1},
+		"ipcp-geomean-full": {"geomean (full suite)", -1},
+	})
+}
+
+func BenchmarkFig9(b *testing.B) {
+	runExperiment(b, "fig9", map[string]metricRef{
+		"baseline-L1-MPKI": {"no-prefetch", 0},
+		"ipcp-L1-MPKI":     {"IPCP", 0},
+	})
+}
+
+func BenchmarkFig10(b *testing.B) {
+	runExperiment(b, "fig10", map[string]metricRef{
+		"cov-L1":  {"average", 0},
+		"cov-L2":  {"average", 1},
+		"cov-LLC": {"average", 2},
+	})
+}
+
+func BenchmarkFig11(b *testing.B) {
+	runExperiment(b, "fig11", map[string]metricRef{
+		"covered":       {"average", 0},
+		"overpredicted": {"average", 2},
+	})
+}
+
+func BenchmarkFig12(b *testing.B) {
+	runExperiment(b, "fig12", map[string]metricRef{
+		"share-CS": {"overall", 0},
+		"share-GS": {"overall", 2},
+	})
+}
+
+func BenchmarkFig13a(b *testing.B) {
+	runExperiment(b, "fig13a", map[string]metricRef{
+		"full-bouquet": {"IPCP L1 (full bouquet)", 0},
+		"with-l2":      {"IPCP L1+L2", 0},
+		"cs-only":      {"CS only", 0},
+	})
+}
+
+func BenchmarkFig13b(b *testing.B) {
+	runExperiment(b, "fig13b", map[string]metricRef{
+		"paper-order": {"GS>CS>CPLX>NL (paper)", 0},
+		"no-metadata": {"paper order, metadata off", 0},
+	})
+}
+
+func BenchmarkFig14a(b *testing.B) {
+	runExperiment(b, "fig14a", map[string]metricRef{
+		"ipcp-geomean": {"geomean", -1},
+	})
+}
+
+func BenchmarkFig14b(b *testing.B) {
+	runExperiment(b, "fig14b", map[string]metricRef{
+		"ipcp-geomean": {"geomean", -1},
+	})
+}
+
+func BenchmarkFig15(b *testing.B) {
+	runExperiment(b, "fig15", map[string]metricRef{
+		"ipcp-overall": {"overall geomean", -1},
+	})
+}
+
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, "tab1", map[string]metricRef{
+		"total-bytes": {"total", 0},
+	})
+}
+
+func BenchmarkTable4(b *testing.B) {
+	runExperiment(b, "tab4", map[string]metricRef{
+		"ipcp-cov-L1": {"IPCP", 0},
+		"ipcp-acc-L1": {"IPCP", 3},
+	})
+}
+
+func BenchmarkSensRepl(b *testing.B) {
+	runExperiment(b, "sens-repl", map[string]metricRef{
+		"lru":  {"lru", 0},
+		"ship": {"ship", 0},
+	})
+}
+
+func BenchmarkSensCache(b *testing.B) {
+	runExperiment(b, "sens-cache", map[string]metricRef{
+		"paper-config": {"L1D 48KB, L2 512KB, LLC 2MB (paper)", 0},
+	})
+}
+
+func BenchmarkSensDRAM(b *testing.B) {
+	runExperiment(b, "sens-dram", map[string]metricRef{
+		"ipcp-3.2GBps":  {"3.2 GB/s", 0},
+		"ipcp-25.6GBps": {"25.6 GB/s", 0},
+	})
+}
+
+func BenchmarkSensPQ(b *testing.B) {
+	runExperiment(b, "sens-pq", map[string]metricRef{
+		"pq2-mshr4":  {"PQ=2 MSHR=4", 0},
+		"pq8-mshr16": {"PQ=8 MSHR=16", 0},
+	})
+}
+
+func BenchmarkSensTables(b *testing.B) {
+	runExperiment(b, "sens-tables", map[string]metricRef{
+		"x1":  {"x1 tables", 0},
+		"x16": {"x16 tables", 0},
+	})
+}
+
+func BenchmarkAblRRFilter(b *testing.B) {
+	runExperiment(b, "abl-rr", map[string]metricRef{
+		"rr-on":  {"RR filter on (paper)", 0},
+		"rr-off": {"RR filter off", 0},
+	})
+}
+
+func BenchmarkAblThrottle(b *testing.B) {
+	runExperiment(b, "abl-throttle", map[string]metricRef{
+		"paper-watermarks": {"high=0.75 low=0.40", 0},
+		"throttle-off":     {"throttling off", 0},
+	})
+}
+
+func BenchmarkAblRegionSize(b *testing.B) {
+	runExperiment(b, "abl-region", map[string]metricRef{
+		"region-2KB": {"2048B regions", 0},
+	})
+}
+
+func BenchmarkAblCPLXDegree(b *testing.B) {
+	runExperiment(b, "abl-degree", map[string]metricRef{
+		"degree-3": {"degree 3", 0},
+	})
+}
+
+func BenchmarkAblSignature(b *testing.B) {
+	runExperiment(b, "abl-sig", map[string]metricRef{
+		"sig-7bit": {"7-bit signature", 0},
+	})
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed
+// (instructions simulated per wall second), the practical limit on
+// experiment scale.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	s := experiments.NewSession(experiments.Scale{Warmup: 5_000, Measure: 50_000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(experiments.RunSpec{
+			Workloads: []string{"lbm-94"}, L1D: "ipcp", L2: "ipcp",
+			Seed: int64(i + 2), // defeat the memoizer
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(55_000*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+func BenchmarkAblTemporal(b *testing.B) {
+	runExperiment(b, "abl-temporal", map[string]metricRef{
+		"ipcp":          {"IPCP (paper)", 0},
+		"ipcp-temporal": {"IPCP + temporal (1024 entries)", 0},
+	})
+}

@@ -1,0 +1,83 @@
+// Command championship scores every registered prefetcher the way the
+// Data Prefetching Championship did: geometric-mean speedup over the
+// memory-intensive suite on the fixed Table II system, producing a
+// leaderboard. A preliminary version of IPCP won DPC-3; this
+// reproduces that style of evaluation.
+//
+//	championship                 # L1-only leaderboard
+//	championship -level l1l2     # multi-level Table III combinations
+//	championship -measure 400000 # bigger runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ipcp/internal/experiments"
+	"ipcp/internal/stats"
+	"ipcp/internal/workload"
+)
+
+func main() {
+	var (
+		level   = flag.String("level", "l1", "l1 (L1-only prefetchers) | l1l2 (Table III combos)")
+		warmup  = flag.Uint64("warmup", 30_000, "warmup instructions")
+		measure = flag.Uint64("measure", 100_000, "measured instructions")
+		traces  = flag.Int("traces", 0, "cap the trace list (0 = all memory-intensive)")
+	)
+	flag.Parse()
+
+	session := experiments.NewSession(experiments.Scale{
+		Warmup: *warmup, Measure: *measure, MaxTraces: *traces, Seed: 1,
+	})
+
+	names := workload.Names(workload.MemoryIntensive())
+	if *traces > 0 && len(names) > *traces {
+		// Evenly spaced subset so a small cap keeps the suite's
+		// pattern diversity.
+		spread := make([]string, 0, *traces)
+		for i := 0; i < *traces; i++ {
+			spread = append(spread, names[i*len(names)/(*traces)])
+		}
+		names = spread
+	}
+
+	var entrants []experiments.Combo
+	switch *level {
+	case "l1":
+		for _, pf := range []string{"nl", "ipstride", "stream", "bop", "spp",
+			"vldp", "mlop", "bingo", "bingo119", "sms", "dspatch", "tskid",
+			"throttled-nl", "ipcp"} {
+			entrants = append(entrants, experiments.Combo{Name: pf, L1D: pf})
+		}
+	case "l1l2":
+		entrants = experiments.Combos()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -level", *level)
+		os.Exit(1)
+	}
+
+	type score struct {
+		name    string
+		geomean float64
+	}
+	var board []score
+	for _, e := range entrants {
+		sp, err := experiments.Speedups(session, names, e)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "championship:", err)
+			os.Exit(1)
+		}
+		board = append(board, score{e.Name, stats.Geomean(sp)})
+		fmt.Fprintf(os.Stderr, "scored %-20s %.3f\n", e.Name, board[len(board)-1].geomean)
+	}
+	sort.Slice(board, func(i, j int) bool { return board[i].geomean > board[j].geomean })
+
+	fmt.Printf("\n=== Leaderboard (%s, %d traces, geomean speedup vs no prefetching) ===\n",
+		*level, len(names))
+	for rank, s := range board {
+		fmt.Printf("%2d. %-20s %.3f\n", rank+1, s.name, s.geomean)
+	}
+}

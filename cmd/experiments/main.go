@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments -list
+//	experiments -run fig8,fig10
+//	experiments -run all -scale default -out EXPERIMENTS-data.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ipcp/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		scale   = flag.String("scale", "quick", "quick | default | full")
+		out     = flag.String("out", "", "write markdown to this file (default stdout)")
+		traces  = flag.Int("traces", 0, "override the trace cap (0 = scale default)")
+		mixes   = flag.Int("mixes", 0, "override the multi-core mix count")
+		warmup  = flag.Uint64("warmup", 0, "override warmup instructions")
+		measure = flag.Uint64("measure", 0, "override measured instructions")
+		list    = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "default":
+		sc = experiments.Default
+	case "full":
+		sc = experiments.Default
+		sc.Measure *= 4
+		sc.Mixes *= 2
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scale", *scale)
+		os.Exit(1)
+	}
+	if *traces != 0 {
+		sc.MaxTraces = *traces
+	}
+	if *mixes != 0 {
+		sc.Mixes = *mixes
+	}
+	if *warmup != 0 {
+		sc.Warmup = *warmup
+	}
+	if *measure != 0 {
+		sc.Measure = *measure
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	session := experiments.NewSession(sc)
+	var b strings.Builder
+	for _, id := range ids {
+		e, err := experiments.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s (%s)...", e.ID, e.Title)
+		tab, err := e.Run(session)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\n%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, " done in %.1fs\n", time.Since(start).Seconds())
+		b.WriteString(tab.Markdown())
+		b.WriteString("\nPaper: " + e.Paper + "\n\n")
+	}
+
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

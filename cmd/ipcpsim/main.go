@@ -1,0 +1,85 @@
+// Command ipcpsim runs one simulation and prints a statistics summary:
+//
+//	ipcpsim -workload gcc-2226 -l1 ipcp -l2 ipcp -measure 200000
+//	ipcpsim -mix lbm-94,omnetpp-17 -l1 bingo
+//	ipcpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ipcp"
+	"ipcp/internal/memsys"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "single-core workload name")
+		mix          = flag.String("mix", "", "comma-separated workloads, one per core")
+		l1           = flag.String("l1", "", "L1-D prefetcher (see -list)")
+		l2           = flag.String("l2", "", "L2 prefetcher")
+		llc          = flag.String("llc", "", "LLC prefetcher")
+		warmup       = flag.Uint64("warmup", 50_000, "warmup instructions per core")
+		measure      = flag.Uint64("measure", 200_000, "measured instructions per core")
+		seed         = flag.Int64("seed", 1, "workload/page-allocation seed")
+		list         = flag.Bool("list", false, "list workloads and prefetchers")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("prefetchers:", strings.Join(ipcp.Prefetchers(), " "))
+		fmt.Println()
+		fmt.Println("workloads:")
+		for _, w := range ipcp.Workloads() {
+			fmt.Println("  ", w)
+		}
+		return
+	}
+
+	rc := ipcp.RunConfig{
+		Workload:      *workloadName,
+		L1DPrefetcher: *l1,
+		L2Prefetcher:  *l2,
+		LLCPrefetcher: *llc,
+		Warmup:        *warmup,
+		Measure:       *measure,
+		Seed:          *seed,
+	}
+	if *mix != "" {
+		rc.Mix = strings.Split(*mix, ",")
+	}
+	res, err := ipcp.Run(rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipcpsim:", err)
+		os.Exit(1)
+	}
+	report(res)
+}
+
+func report(res *ipcp.Result) {
+	for i := 0; i < res.Cores; i++ {
+		fmt.Printf("core %d: IPC %.4f  (%d instructions in %d cycles)\n",
+			i, res.IPC[i], res.Instructions, res.CyclesPerCore[i])
+		l1 := res.L1D[i]
+		fmt.Printf("  L1D: %6d demand accesses, %6d misses (MPKI %.1f; misses include MSHR merges)\n",
+			l1.DemandAccesses(), l1.DemandMisses(), res.MPKI("L1D", i))
+		if l1.PrefetchIssued > 0 {
+			fmt.Printf("       prefetch: issued %d, filled %d, useful %d (accuracy %.2f), late %d\n",
+				l1.PrefetchIssued, l1.PrefetchFills, l1.PrefetchUseful, l1.Accuracy(), l1.LatePrefetch)
+			fmt.Printf("       by class: CS %d  CPLX %d  GS %d  NL %d\n",
+				l1.IssuedByClass[memsys.ClassCS], l1.IssuedByClass[memsys.ClassCPLX],
+				l1.IssuedByClass[memsys.ClassGS], l1.IssuedByClass[memsys.ClassNL])
+		}
+		l2 := res.L2[i]
+		fmt.Printf("  L2:  %6d demand accesses, %6d misses (MPKI %.1f), %d prefetches\n",
+			l2.DemandAccesses(), l2.DemandMisses(), res.MPKI("L2", i), l2.PrefetchIssued)
+	}
+	fmt.Printf("LLC:  %d demand accesses, %d misses\n",
+		res.LLC.DemandAccesses(), res.LLC.DemandMisses())
+	fmt.Printf("DRAM: %d reads, %d writes, %.1f%% bus utilization, %d row hits / %d misses / %d conflicts\n",
+		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.BusUtilization()*100,
+		res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts)
+}

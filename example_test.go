@@ -1,0 +1,56 @@
+package ipcp_test
+
+import (
+	"fmt"
+
+	"ipcp"
+)
+
+// ExampleStorageBudget reproduces the paper's Table I.
+func ExampleStorageBudget() {
+	st := ipcp.StorageBudget(ipcp.DefaultL1Config(), ipcp.DefaultL2Config())
+	fmt.Printf("L1: %d bytes\n", st.L1Bytes())
+	fmt.Printf("L2: %d bytes\n", st.L2Bytes())
+	fmt.Printf("total: %d bytes\n", st.TotalBytes())
+	// Output:
+	// L1: 740 bytes
+	// L2: 155 bytes
+	// total: 895 bytes
+}
+
+// ExampleRun shows the one-call simulation API.
+func ExampleRun() {
+	res, err := ipcp.Run(ipcp.RunConfig{
+		Workload:      "fotonik3d-7084",
+		L1DPrefetcher: "ipcp",
+		L2Prefetcher:  "ipcp",
+		Warmup:        10_000,
+		Measure:       30_000,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("simulated one core:", res.Cores == 1)
+	fmt.Println("issued prefetches:", res.L1D[0].PrefetchIssued > 0)
+	// Output:
+	// simulated one core: true
+	// issued prefetches: true
+}
+
+// ExampleRunConfig_mix runs a 2-core mix sharing the LLC and DRAM.
+func ExampleRunConfig_mix() {
+	res, err := ipcp.Run(ipcp.RunConfig{
+		Mix:           []string{"lbm-94", "exchange2-387"},
+		L1DPrefetcher: "ipcp",
+		Warmup:        5_000,
+		Measure:       10_000,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("cores:", res.Cores)
+	// Output:
+	// cores: 2
+}

@@ -1,0 +1,73 @@
+// Prefetcher shootout: compare the paper's Table III multi-level
+// combinations on a few representative traces — a miniature of
+// Figure 8.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ipcp"
+)
+
+type combo struct {
+	name         string
+	l1d, l2, llc string
+}
+
+func main() {
+	combos := []combo{
+		{"no-prefetch", "", "", ""},
+		{"SPP+Perc+DSPatch", "throttled-nl", "spp-ppf-dspatch", "nl-miss"},
+		{"MLOP", "mlop", "nl", "nl-miss"},
+		{"Bingo", "bingo", "nl", "nl-miss"},
+		{"TSKID", "tskid", "spp", ""},
+		{"IPCP", "ipcp", "ipcp", ""},
+	}
+	workloads := []string{
+		"bwaves-98",      // constant stride (CS)
+		"gcc-2226",       // dense streaming (GS)
+		"mcf-1536",       // complex strides (CPLX)
+		"omnetpp-17",     // irregular — everyone struggles
+		"cactuBSSN-2421", // IP-table-thrashing outlier
+	}
+
+	fmt.Printf("%-16s", "")
+	for _, c := range combos[1:] {
+		fmt.Printf("%18s", c.name)
+	}
+	fmt.Println()
+
+	geo := make([]float64, len(combos))
+	for _, w := range workloads {
+		base := run(w, combos[0])
+		fmt.Printf("%-16s", w)
+		for i, c := range combos[1:] {
+			sp := run(w, c) / base
+			geo[i+1] += math.Log(sp)
+			fmt.Printf("%17.2fx", sp)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-16s", "geomean")
+	for i := range combos[1:] {
+		fmt.Printf("%17.2fx", math.Exp(geo[i+1]/float64(len(workloads))))
+	}
+	fmt.Println()
+}
+
+func run(workload string, c combo) float64 {
+	res, err := ipcp.Run(ipcp.RunConfig{
+		Workload:      workload,
+		L1DPrefetcher: c.l1d,
+		L2Prefetcher:  c.l2,
+		LLCPrefetcher: c.llc,
+		Warmup:        30_000,
+		Measure:       100_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.IPC[0]
+}

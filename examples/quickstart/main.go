@@ -1,0 +1,45 @@
+// Quickstart: run one memory-intensive workload with and without IPCP
+// and print the speedup — the library's one-minute tour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipcp"
+)
+
+func main() {
+	const workload = "gcc-2226" // a streaming, GS-class-friendly trace
+
+	baseline, err := ipcp.Run(ipcp.RunConfig{
+		Workload: workload,
+		Warmup:   50_000,
+		Measure:  200_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	with, err := ipcp.Run(ipcp.RunConfig{
+		Workload:      workload,
+		L1DPrefetcher: "ipcp",
+		L2Prefetcher:  "ipcp",
+		Warmup:        50_000,
+		Measure:       200_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:      %s\n", workload)
+	fmt.Printf("baseline IPC:  %.3f\n", baseline.IPC[0])
+	fmt.Printf("IPCP IPC:      %.3f\n", with.IPC[0])
+	fmt.Printf("speedup:       %.2fx\n", with.IPC[0]/baseline.IPC[0])
+	fmt.Printf("L1 demand misses: %d -> %d (coverage %.0f%%)\n",
+		baseline.L1D[0].DemandMisses(), with.L1D[0].DemandMisses(),
+		100*(1-float64(with.L1D[0].DemandMisses())/float64(baseline.L1D[0].DemandMisses())))
+
+	st := ipcp.StorageBudget(ipcp.DefaultL1Config(), ipcp.DefaultL2Config())
+	fmt.Printf("IPCP hardware budget: %d bytes (paper Table I: 895)\n", st.TotalBytes())
+}

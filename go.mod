@@ -1,0 +1,3 @@
+module ipcp
+
+go 1.22

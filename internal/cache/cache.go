@@ -1,0 +1,642 @@
+// Package cache implements the set-associative cache model used at
+// every level of the simulated hierarchy: read/write/prefetch queues,
+// MSHRs with request merging, a non-inclusive fill path, per-line
+// prefetch class tags, and the prefetcher hook points.
+//
+// The model is cycle-stepped: the simulation driver clocks every cache
+// once per cycle, and each cache services a bounded number of lookups
+// per cycle (its "ports"), forwards misses downward through memsys.Sink
+// and receives data back through memsys.Receiver.
+package cache
+
+import (
+	"fmt"
+
+	"ipcp/internal/memsys"
+	"ipcp/internal/prefetch"
+	"ipcp/internal/repl"
+)
+
+// Config describes one cache.
+type Config struct {
+	Name  string
+	Level memsys.Level
+
+	Sets int // must be a power of two
+	Ways int
+
+	// Latency is the lookup (hit) latency in cycles.
+	Latency int
+	// Ports bounds read-side lookups (demand + prefetch) per cycle.
+	Ports int
+
+	RQSize, WQSize, PQSize, MSHRs int
+
+	// Repl names the replacement policy ("lru" if empty).
+	Repl string
+}
+
+// SizeBytes returns the capacity of the configured cache.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * memsys.BlockSize }
+
+// Line is one cache block's bookkeeping state.
+type Line struct {
+	Tag        uint64 // block number
+	Valid      bool
+	Dirty      bool
+	Prefetched bool // brought in by a prefetch and not yet demanded
+	Class      memsys.PrefetchClass
+}
+
+// Stats aggregates a cache's counters. Demand counters exclude
+// writebacks and prefetches.
+type Stats struct {
+	Access [5]uint64
+	Hit    [5]uint64
+	Miss   [5]uint64
+
+	MSHRMerges   uint64
+	LatePrefetch uint64 // demand merged into an outstanding prefetch miss
+
+	PrefetchIssued       uint64
+	PrefetchDropPQFull   uint64
+	PrefetchMSHRStall    uint64
+	PrefetchDropUnmapped uint64
+	PrefetchFills        uint64
+	PrefetchUseful       uint64
+	UselessEvicted       uint64 // prefetched lines evicted untouched
+
+	IssuedByClass [memsys.NumClasses]uint64
+	FillsByClass  [memsys.NumClasses]uint64
+	UsefulByClass [memsys.NumClasses]uint64
+
+	Writebacks uint64
+
+	DemandMissLatency uint64 // summed cycles
+	DemandMissSamples uint64
+}
+
+// DemandAccesses returns loads + RFOs + code reads handled.
+func (s *Stats) DemandAccesses() uint64 {
+	return s.Access[memsys.Load] + s.Access[memsys.RFO] + s.Access[memsys.CodeRead]
+}
+
+// DemandMisses returns demand misses (loads + RFOs + code reads).
+func (s *Stats) DemandMisses() uint64 {
+	return s.Miss[memsys.Load] + s.Miss[memsys.RFO] + s.Miss[memsys.CodeRead]
+}
+
+// DemandHits returns demand hits.
+func (s *Stats) DemandHits() uint64 {
+	return s.Hit[memsys.Load] + s.Hit[memsys.RFO] + s.Hit[memsys.CodeRead]
+}
+
+// Accuracy returns useful/filled prefetch accuracy in [0,1], or 0 when
+// no prefetch has filled.
+func (s *Stats) Accuracy() float64 {
+	if s.PrefetchFills == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUseful) / float64(s.PrefetchFills)
+}
+
+// fillRec is a returned block waiting to be installed.
+type fillRec struct {
+	ready int64
+	req   *memsys.Request
+}
+
+// Translator maps a virtual prefetch address to a physical one without
+// allocating pages; ok=false drops the candidate.
+type Translator func(v memsys.Addr) (memsys.Addr, bool)
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg   Config
+	lines []Line
+	pol   repl.Policy
+
+	lower memsys.Sink
+	pf    prefetch.Prefetcher
+
+	// translate is set on the L1-D: prefetcher candidates there are
+	// virtual addresses.
+	translate Translator
+
+	rq, wq, pq *queue
+	mshr       *mshrTable
+	fills      []fillRec
+
+	setsMask uint64
+	now      int64
+
+	Stats Stats
+}
+
+// New constructs a cache. The lower sink and prefetcher are attached
+// with SetLower / SetPrefetcher before the first cycle.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: sets must be a power of two, got %d", cfg.Name, cfg.Sets)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache %s: ways must be positive", cfg.Name)
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 1
+	}
+	if cfg.Repl == "" {
+		cfg.Repl = "lru"
+	}
+	pol, err := repl.New(cfg.Repl, cfg.Sets, cfg.Ways)
+	if err != nil {
+		return nil, fmt.Errorf("cache %s: %w", cfg.Name, err)
+	}
+	return &Cache{
+		cfg:      cfg,
+		lines:    make([]Line, cfg.Sets*cfg.Ways),
+		pol:      pol,
+		pf:       prefetch.Nil{},
+		rq:       newQueue(cfg.RQSize),
+		wq:       newQueue(cfg.WQSize),
+		pq:       newQueue(cfg.PQSize),
+		mshr:     newMSHR(cfg.MSHRs),
+		setsMask: uint64(cfg.Sets - 1),
+	}, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetLower attaches the next level down.
+func (c *Cache) SetLower(s memsys.Sink) { c.lower = s }
+
+// SetPrefetcher attaches a prefetcher (nil detaches).
+func (c *Cache) SetPrefetcher(p prefetch.Prefetcher) {
+	if p == nil {
+		p = prefetch.Nil{}
+	}
+	c.pf = p
+}
+
+// Prefetcher returns the attached prefetcher.
+func (c *Cache) Prefetcher() prefetch.Prefetcher { return c.pf }
+
+// SetTranslator supplies the virtual→physical mapping for prefetch
+// candidates (L1-D only).
+func (c *Cache) SetTranslator(t Translator) { c.translate = t }
+
+// ResetStats zeroes the counters (end of warmup).
+func (c *Cache) ResetStats() { c.Stats = Stats{} }
+
+// --- memsys.Sink ------------------------------------------------------
+
+// AddRead enqueues a demand read from above.
+func (c *Cache) AddRead(r *memsys.Request) bool { return c.rq.push(r) }
+
+// AddWrite enqueues a writeback from above.
+func (c *Cache) AddWrite(r *memsys.Request) bool { return c.wq.push(r) }
+
+// AddPrefetch enqueues a prefetch from the level above.
+func (c *Cache) AddPrefetch(r *memsys.Request) bool { return c.pq.push(r) }
+
+// --- memsys.Receiver ----------------------------------------------------
+
+// ReturnData receives a completed forwarded request from below.
+func (c *Cache) ReturnData(ready int64, req *memsys.Request) {
+	c.fills = append(c.fills, fillRec{ready: ready, req: req})
+}
+
+// --- clocking -----------------------------------------------------------
+
+// Cycle advances the cache one cycle.
+func (c *Cache) Cycle(now int64) {
+	c.now = now
+	c.processFills(now)
+	c.issueMSHR(now)
+
+	// One writeback handled per cycle.
+	if r := c.wq.peek(); r != nil {
+		if c.handleWrite(now, r) {
+			c.wq.pop()
+		}
+	}
+
+	// Read-side lookups: demand queue has priority over prefetches,
+	// but the prefetch queue always gets one lookup of its own — the
+	// paper's L1 prefetcher never probes the data ports (that is what
+	// the RR filter is for), so prefetches do not starve behind a
+	// saturated demand stream.
+	budget := c.cfg.Ports
+	for budget > 0 {
+		if r := c.rq.peek(); r != nil {
+			if !c.handleRead(now, r) {
+				break // head blocked (MSHR full); retry next cycle
+			}
+			c.rq.pop()
+			budget--
+			continue
+		}
+		break
+	}
+	pfBudget := budget
+	if pfBudget < 1 {
+		pfBudget = 1
+	}
+	for pfBudget > 0 {
+		r := c.pq.peek()
+		if r == nil {
+			break
+		}
+		if !c.handlePrefetchPop(now, r) {
+			break
+		}
+		c.pq.pop()
+		pfBudget--
+	}
+
+	c.pf.Cycle(now)
+}
+
+// lookup finds the way holding block, or -1.
+func (c *Cache) lookup(block uint64) (set, way int) {
+	set = int(block & c.setsMask)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if l := &c.lines[base+w]; l.Valid && l.Tag == block {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// Probe reports whether the block containing addr is resident (testing
+// and statistics; does not touch replacement state).
+func (c *Cache) Probe(addr memsys.Addr) bool {
+	_, way := c.lookup(memsys.BlockNumber(addr))
+	return way >= 0
+}
+
+// handleRead services the head of the read queue. It returns false if
+// the request cannot make progress this cycle.
+func (c *Cache) handleRead(now int64, r *memsys.Request) bool {
+	return c.service(now, r, false)
+}
+
+// handlePrefetchPop services the head of the prefetch queue.
+func (c *Cache) handlePrefetchPop(now int64, r *memsys.Request) bool {
+	// A prefetch whose fill target is deeper than this cache is only
+	// passing through: check residency, then forward without MSHR.
+	if r.FillLevel > c.cfg.Level {
+		_, way := c.lookup(memsys.BlockNumber(r.Addr))
+		if way >= 0 {
+			return true // already resident here; drop
+		}
+		return c.lower.AddPrefetch(r)
+	}
+	return c.service(now, r, true)
+}
+
+// service performs the tag lookup and hit/miss handling shared by
+// demand reads and prefetches. fromPQ marks prefetch-queue pops.
+func (c *Cache) service(now int64, r *memsys.Request, fromPQ bool) bool {
+	block := memsys.BlockNumber(r.Addr)
+	set, way := c.lookup(block)
+
+	external := !fromPQ || r.PfOrigin != c.cfg.Level
+
+	if way >= 0 {
+		line := &c.lines[set*c.cfg.Ways+way]
+		hitClass := memsys.ClassNone
+		hitPrefetched := false
+		if line.Prefetched && r.Type.IsDemand() {
+			c.Stats.PrefetchUseful++
+			c.Stats.UsefulByClass[line.Class]++
+			hitClass = line.Class
+			hitPrefetched = true
+			line.Prefetched = false
+		}
+		c.count(r.Type, true)
+		c.pol.Hit(set, way, r)
+		if r.Type == memsys.RFO {
+			line.Dirty = true
+		}
+		if external {
+			c.operatePrefetcher(now, r, true, hitPrefetched, hitClass)
+		}
+		if r.ReturnTo != nil {
+			r.ReturnTo.ReturnData(now+int64(c.cfg.Latency), r)
+		}
+		return true
+	}
+
+	// Miss. Merge into an outstanding entry if one exists.
+	if e := c.mshr.find(block); e != nil {
+		c.count(r.Type, false)
+		c.Stats.MSHRMerges++
+		e.waiters = append(e.waiters, r)
+		if r.Type.IsDemand() {
+			if e.prefetchOnly {
+				c.Stats.LatePrefetch++
+				e.prefetchOnly = false
+			}
+			if r.FillLevel < e.fillLevel {
+				e.fillLevel = r.FillLevel
+			}
+		}
+		if external {
+			c.operatePrefetcher(now, r, false, false, memsys.ClassNone)
+		}
+		return true
+	}
+
+	if c.mshr.full() {
+		if r.IsPrefetch() && fromPQ {
+			c.Stats.PrefetchMSHRStall++
+		}
+		// Both demands and prefetches wait at their queue heads for an
+		// MSHR slot (as in ChampSim). A full PQ then drops newly
+		// issued prefetches — the paper's natural throttling.
+		return false
+	}
+
+	c.count(r.Type, false)
+	fl := r.FillLevel
+	if fl == 0 {
+		fl = c.cfg.Level
+	}
+	e := &mshrEntry{
+		block:        block,
+		waiters:      []*memsys.Request{r},
+		readyToIssue: now + int64(c.cfg.Latency),
+		prefetchOnly: r.IsPrefetch(),
+		class:        r.PfClass,
+		meta:         r.PfMeta,
+		fillLevel:    fl,
+		born:         now,
+	}
+	c.mshr.alloc(e)
+	if external {
+		c.operatePrefetcher(now, r, false, false, memsys.ClassNone)
+	}
+	return true
+}
+
+func (c *Cache) count(t memsys.AccessType, hit bool) {
+	c.Stats.Access[t]++
+	if hit {
+		c.Stats.Hit[t]++
+	} else {
+		c.Stats.Miss[t]++
+	}
+}
+
+// operatePrefetcher invokes the attached prefetcher's Operate hook.
+func (c *Cache) operatePrefetcher(now int64, r *memsys.Request, hit, hitPrefetched bool, hitClass memsys.PrefetchClass) {
+	if _, isNil := c.pf.(prefetch.Nil); isNil {
+		return
+	}
+	vaddr := r.VAddr
+	if c.translate == nil {
+		// Below the (virtually trained) L1-D, prefetchers operate on
+		// physical addresses only: their candidates are issued
+		// untranslated, so offering a virtual address here would make
+		// them prefetch the wrong physical lines.
+		vaddr = 0
+	}
+	a := prefetch.Access{
+		Addr:          r.Addr,
+		VAddr:         vaddr,
+		IP:            r.IP,
+		Type:          r.Type,
+		Hit:           hit,
+		Meta:          r.PfMeta,
+		HitPrefetched: hitPrefetched,
+		HitClass:      hitClass,
+	}
+	c.pf.Operate(now, &a, issuer{c})
+}
+
+// issuer adapts the cache to prefetch.Issuer.
+type issuer struct{ c *Cache }
+
+// Issue accepts a prefetch candidate from the attached prefetcher.
+func (i issuer) Issue(cand prefetch.Candidate) bool {
+	return i.c.issuePrefetch(cand)
+}
+
+func (c *Cache) issuePrefetch(cand prefetch.Candidate) bool {
+	paddr := cand.Addr
+	vaddr := memsys.Addr(0)
+	if c.translate != nil {
+		vaddr = cand.Addr
+		p, ok := c.translate(cand.Addr)
+		if !ok {
+			c.Stats.PrefetchDropUnmapped++
+			return false
+		}
+		paddr = p
+	}
+	if c.pq.full() {
+		c.Stats.PrefetchDropPQFull++
+		return false
+	}
+	fl := cand.FillLevel
+	if fl == 0 {
+		fl = c.cfg.Level
+	}
+	r := &memsys.Request{
+		Addr:      memsys.BlockAlign(paddr),
+		VAddr:     memsys.BlockAlign(vaddr),
+		IP:        cand.IP,
+		Type:      memsys.Prefetch,
+		FillLevel: fl,
+		PfClass:   cand.Class,
+		PfMeta:    cand.Meta,
+		PfOrigin:  c.cfg.Level,
+		Born:      c.now,
+	}
+	c.pq.push(r)
+	c.Stats.PrefetchIssued++
+	c.Stats.IssuedByClass[cand.Class]++
+	return true
+}
+
+// issueMSHR forwards unissued misses to the lower level.
+func (c *Cache) issueMSHR(now int64) {
+	c.mshr.unissued(func(e *mshrEntry) {
+		if e.readyToIssue > now {
+			return
+		}
+		first := e.waiters[0]
+		fwd := &memsys.Request{
+			Addr:      e.block << memsys.BlockBits,
+			VAddr:     memsys.BlockAlign(first.VAddr),
+			IP:        first.IP,
+			CoreID:    first.CoreID,
+			FillLevel: e.fillLevel,
+			PfClass:   e.class,
+			PfMeta:    e.meta,
+			PfOrigin:  first.PfOrigin,
+			ReturnTo:  c,
+			Born:      e.born,
+		}
+		if e.prefetchOnly {
+			fwd.Type = memsys.Prefetch
+			if c.lower.AddPrefetch(fwd) {
+				e.issued = true
+			}
+			return
+		}
+		fwd.Type = firstDemandType(e.waiters)
+		if c.lower.AddRead(fwd) {
+			e.issued = true
+		}
+	})
+}
+
+func firstDemandType(ws []*memsys.Request) memsys.AccessType {
+	for _, w := range ws {
+		if w.Type.IsDemand() {
+			return w.Type
+		}
+	}
+	return memsys.Load
+}
+
+// processFills installs returned blocks and answers waiters.
+func (c *Cache) processFills(now int64) {
+	remaining := c.fills[:0]
+	for _, f := range c.fills {
+		if f.ready > now {
+			remaining = append(remaining, f)
+			continue
+		}
+		if !c.installFill(now, f.req) {
+			remaining = append(remaining, f) // victim writeback blocked
+		}
+	}
+	c.fills = remaining
+}
+
+// installFill installs the returned block for req and completes its
+// MSHR entry. It returns false if the install cannot proceed (dirty
+// victim with the lower write queue full).
+func (c *Cache) installFill(now int64, req *memsys.Request) bool {
+	block := memsys.BlockNumber(req.Addr)
+	e := c.mshr.find(block)
+
+	prefetched := e != nil && e.prefetchOnly
+	class := memsys.ClassNone
+	if e != nil {
+		class = e.class
+	}
+
+	if _, way := c.lookup(block); way < 0 {
+		if !c.install(now, req, prefetched, class) {
+			return false
+		}
+	}
+
+	if e == nil {
+		return true // stale fill (entry already satisfied)
+	}
+	if e.prefetchOnly {
+		c.Stats.PrefetchFills++
+		c.Stats.FillsByClass[e.class]++
+	}
+	for _, w := range e.waiters {
+		if w.ReturnTo != nil {
+			w.ReturnTo.ReturnData(now, w)
+		}
+		if w.Type.IsDemand() {
+			c.Stats.DemandMissLatency += uint64(now - w.Born)
+			c.Stats.DemandMissSamples++
+		}
+	}
+	c.mshr.free(block)
+	return true
+}
+
+// install places a block into its set, evicting a victim if needed.
+// It returns false when a dirty victim cannot be written back yet.
+func (c *Cache) install(now int64, req *memsys.Request, prefetched bool, class memsys.PrefetchClass) bool {
+	block := memsys.BlockNumber(req.Addr)
+	set := int(block & c.setsMask)
+	base := set * c.cfg.Ways
+	way := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.lines[base+w].Valid {
+			way = w
+			break
+		}
+	}
+	var evicted memsys.Addr
+	evictedUnused := false
+	if way < 0 {
+		way = c.pol.Victim(set, req)
+		victim := &c.lines[base+way]
+		if victim.Dirty {
+			wb := &memsys.Request{
+				Addr:   victim.Tag << memsys.BlockBits,
+				Type:   memsys.Writeback,
+				CoreID: req.CoreID,
+				Born:   now,
+			}
+			if c.lower == nil || !c.lower.AddWrite(wb) {
+				return false
+			}
+			c.Stats.Writebacks++
+		}
+		if victim.Prefetched {
+			c.Stats.UselessEvicted++
+			evictedUnused = true
+		}
+		evicted = victim.Tag << memsys.BlockBits
+	}
+	c.lines[base+way] = Line{
+		Tag:        block,
+		Valid:      true,
+		Dirty:      req.Type == memsys.RFO || req.Type == memsys.Writeback,
+		Prefetched: prefetched,
+		Class:      class,
+	}
+	c.pol.Fill(set, way, req)
+	if _, isNil := c.pf.(prefetch.Nil); !isNil {
+		c.pf.Fill(now, &prefetch.FillEvent{
+			Addr:                  memsys.BlockAlign(req.Addr),
+			VAddr:                 memsys.BlockAlign(req.VAddr),
+			Set:                   set,
+			Way:                   way,
+			Prefetch:              prefetched,
+			Class:                 class,
+			Evicted:               evicted,
+			EvictedUnusedPrefetch: evictedUnused,
+		})
+	}
+	return true
+}
+
+// handleWrite services a writeback from above: hit updates in place,
+// miss allocates the block locally (write-allocate without fetch).
+func (c *Cache) handleWrite(now int64, r *memsys.Request) bool {
+	block := memsys.BlockNumber(r.Addr)
+	set, way := c.lookup(block)
+	if way >= 0 {
+		c.count(memsys.Writeback, true)
+		line := &c.lines[set*c.cfg.Ways+way]
+		line.Dirty = true
+		c.pol.Hit(set, way, r)
+		return true
+	}
+	if !c.install(now, r, false, memsys.ClassNone) {
+		return false
+	}
+	c.count(memsys.Writeback, false)
+	return true
+}
+
+// Occupancy reports current queue and MSHR occupancy (testing).
+func (c *Cache) Occupancy() (rq, wq, pq, mshr int) {
+	return c.rq.len(), c.wq.len(), c.pq.len(), c.mshr.len()
+}

@@ -1,0 +1,529 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipcp/internal/memsys"
+	"ipcp/internal/prefetch"
+)
+
+// fakeMemory is an always-accepting lower level that answers every read
+// after a fixed latency.
+type fakeMemory struct {
+	latency int64
+	pend    []fill
+	Reads   int
+	Writes  int
+	Pf      int
+	now     int64
+	clock   int64
+	// rejectWrites makes AddWrite fail (for blocked-eviction tests).
+	rejectWrites bool
+}
+
+type fill struct {
+	at  int64
+	req *memsys.Request
+}
+
+func (m *fakeMemory) AddRead(r *memsys.Request) bool {
+	m.Reads++
+	m.pend = append(m.pend, fill{at: m.now + m.latency, req: r})
+	return true
+}
+
+func (m *fakeMemory) AddPrefetch(r *memsys.Request) bool {
+	m.Pf++
+	m.pend = append(m.pend, fill{at: m.now + m.latency, req: r})
+	return true
+}
+
+func (m *fakeMemory) AddWrite(r *memsys.Request) bool {
+	if m.rejectWrites {
+		return false
+	}
+	m.Writes++
+	return true
+}
+
+func (m *fakeMemory) Cycle(now int64) {
+	m.now = now
+	rest := m.pend[:0]
+	for _, f := range m.pend {
+		if f.at <= now {
+			if f.req.ReturnTo != nil {
+				f.req.ReturnTo.ReturnData(now, f.req)
+			}
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	m.pend = rest
+}
+
+// collector records completed core requests.
+type collector struct {
+	done map[int64]int64 // Tag -> completion cycle
+}
+
+func newCollector() *collector { return &collector{done: make(map[int64]int64)} }
+
+func (c *collector) ReturnData(now int64, r *memsys.Request) { c.done[r.Tag] = now }
+
+func testConfig() Config {
+	return Config{
+		Name: "L1D", Level: memsys.LevelL1D,
+		Sets: 64, Ways: 12, Latency: 5, Ports: 2,
+		RQSize: 16, WQSize: 16, PQSize: 8, MSHRs: 16,
+	}
+}
+
+// run advances the pair by the given number of cycles, resuming from
+// where the previous call stopped.
+func run(c *Cache, m *fakeMemory, cycles int) {
+	for i := 0; i < cycles; i++ {
+		m.Cycle(m.clock)
+		c.Cycle(m.clock)
+		m.clock++
+	}
+}
+
+func load(addr memsys.Addr, tag int64, to memsys.Receiver) *memsys.Request {
+	return &memsys.Request{
+		Addr: addr, VAddr: addr, IP: 0x400000, Type: memsys.Load,
+		Tag: tag, ReturnTo: to,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &fakeMemory{latency: 50}
+	c.SetLower(m)
+	col := newCollector()
+
+	if !c.AddRead(load(0x1000, 1, col)) {
+		t.Fatal("AddRead rejected")
+	}
+	run(c, m, 100)
+	if _, ok := col.done[1]; !ok {
+		t.Fatal("miss never completed")
+	}
+	first := col.done[1]
+	if first < 50 {
+		t.Errorf("miss completed at %d, expected >= memory latency", first)
+	}
+
+	// Second access to the same block must hit with the hit latency.
+	c.AddRead(load(0x1008, 2, col))
+	run(c, m, 120)
+	hitAt, ok := col.done[2]
+	if !ok {
+		t.Fatal("hit never completed")
+	}
+	if lat := hitAt - 100; lat != int64(c.cfg.Latency) {
+		t.Errorf("hit latency = %d, want %d", lat, c.cfg.Latency)
+	}
+	if c.Stats.Hit[memsys.Load] != 1 || c.Stats.Miss[memsys.Load] != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", c.Stats.Hit[memsys.Load], c.Stats.Miss[memsys.Load])
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	c, _ := New(testConfig())
+	m := &fakeMemory{latency: 80}
+	c.SetLower(m)
+	col := newCollector()
+
+	// Two loads to the same block, different words.
+	c.AddRead(load(0x2000, 1, col))
+	c.AddRead(load(0x2020, 2, col))
+	run(c, m, 200)
+	if len(col.done) != 2 {
+		t.Fatalf("completed %d, want 2", len(col.done))
+	}
+	if m.Reads != 1 {
+		t.Errorf("memory reads = %d, want 1 (merged)", m.Reads)
+	}
+	if c.Stats.MSHRMerges != 1 {
+		t.Errorf("MSHRMerges = %d, want 1", c.Stats.MSHRMerges)
+	}
+}
+
+func TestMSHRFullStallsDemand(t *testing.T) {
+	cfg := testConfig()
+	cfg.MSHRs = 2
+	cfg.RQSize = 8
+	c, _ := New(cfg)
+	m := &fakeMemory{latency: 500}
+	c.SetLower(m)
+	col := newCollector()
+
+	for i := 0; i < 4; i++ {
+		c.AddRead(load(memsys.Addr(0x10000+i*0x1000), int64(i), col))
+	}
+	run(c, m, 100) // not enough for memory to answer
+	_, _, _, mshr := c.Occupancy()
+	if mshr != 2 {
+		t.Errorf("MSHR occupancy = %d, want 2 (full)", mshr)
+	}
+	if m.Reads != 2 {
+		t.Errorf("memory reads = %d, want 2", m.Reads)
+	}
+	run(c, m, 1500)
+	if len(col.done) != 4 {
+		t.Errorf("eventually completed %d, want 4", len(col.done))
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sets = 1
+	cfg.Ways = 2
+	c, _ := New(cfg)
+	m := &fakeMemory{latency: 10}
+	c.SetLower(m)
+	col := newCollector()
+
+	// Fill both ways; dirty one of them via RFO.
+	rfo := load(0x0, 1, col)
+	rfo.Type = memsys.RFO
+	c.AddRead(rfo)
+	c.AddRead(load(0x40, 2, col))
+	run(c, m, 50)
+	// Evict: bring in two more blocks mapping to the same (only) set.
+	c.AddRead(load(0x80, 3, col))
+	c.AddRead(load(0xc0, 4, col))
+	run(c, m, 100)
+	if m.Writes != 1 {
+		t.Errorf("writebacks to memory = %d, want 1", m.Writes)
+	}
+}
+
+func TestBlockedEvictionRetries(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sets = 1
+	cfg.Ways = 1
+	c, _ := New(cfg)
+	m := &fakeMemory{latency: 5, rejectWrites: true}
+	c.SetLower(m)
+	col := newCollector()
+
+	rfo := load(0x0, 1, col)
+	rfo.Type = memsys.RFO
+	c.AddRead(rfo)
+	run(c, m, 30)
+	// This load must evict the dirty line, but writes are rejected.
+	c.AddRead(load(0x40, 2, col))
+	run(c, m, 60)
+	if _, ok := col.done[2]; ok {
+		t.Fatal("fill installed despite blocked writeback")
+	}
+	m.rejectWrites = false
+	run(c, m, 60)
+	if _, ok := col.done[2]; !ok {
+		t.Fatal("fill never completed after writeback unblocked")
+	}
+}
+
+func TestPrefetchFillAndUseful(t *testing.T) {
+	c, _ := New(testConfig())
+	m := &fakeMemory{latency: 20}
+	c.SetLower(m)
+	col := newCollector()
+
+	// Issue a prefetch via the issuer path.
+	ok := (issuer{c}).Issue(prefetch.Candidate{Addr: 0x3000, Class: memsys.ClassCS})
+	if !ok {
+		t.Fatal("prefetch rejected")
+	}
+	run(c, m, 100)
+	if c.Stats.PrefetchFills != 1 {
+		t.Fatalf("PrefetchFills = %d, want 1", c.Stats.PrefetchFills)
+	}
+	if c.Stats.FillsByClass[memsys.ClassCS] != 1 {
+		t.Errorf("CS fills = %d, want 1", c.Stats.FillsByClass[memsys.ClassCS])
+	}
+	// Demand hit on the prefetched block counts as useful exactly once.
+	c.AddRead(load(0x3000, 1, col))
+	c.AddRead(load(0x3010, 2, col))
+	run(c, m, 200)
+	if c.Stats.PrefetchUseful != 1 {
+		t.Errorf("PrefetchUseful = %d, want 1", c.Stats.PrefetchUseful)
+	}
+	if c.Stats.UsefulByClass[memsys.ClassCS] != 1 {
+		t.Errorf("CS useful = %d, want 1", c.Stats.UsefulByClass[memsys.ClassCS])
+	}
+}
+
+func TestPrefetchHitIsDropped(t *testing.T) {
+	c, _ := New(testConfig())
+	m := &fakeMemory{latency: 20}
+	c.SetLower(m)
+	col := newCollector()
+
+	c.AddRead(load(0x4000, 1, col))
+	run(c, m, 100)
+	(issuer{c}).Issue(prefetch.Candidate{Addr: 0x4000, Class: memsys.ClassCS})
+	run(c, m, 200)
+	if m.Pf != 0 {
+		t.Errorf("prefetch forwarded to memory despite residency")
+	}
+	if c.Stats.PrefetchFills != 0 {
+		t.Errorf("PrefetchFills = %d, want 0", c.Stats.PrefetchFills)
+	}
+}
+
+func TestLatePrefetch(t *testing.T) {
+	c, _ := New(testConfig())
+	m := &fakeMemory{latency: 200}
+	c.SetLower(m)
+	col := newCollector()
+
+	(issuer{c}).Issue(prefetch.Candidate{Addr: 0x5000, Class: memsys.ClassGS})
+	run(c, m, 20) // prefetch in flight
+	c.AddRead(load(0x5000, 1, col))
+	run(c, m, 400)
+	if c.Stats.LatePrefetch != 1 {
+		t.Errorf("LatePrefetch = %d, want 1", c.Stats.LatePrefetch)
+	}
+	if _, ok := col.done[1]; !ok {
+		t.Fatal("demand merged into prefetch never completed")
+	}
+	if m.Reads+m.Pf != 1 {
+		t.Errorf("memory requests = %d, want 1", m.Reads+m.Pf)
+	}
+}
+
+func TestPQFullDropsPrefetch(t *testing.T) {
+	cfg := testConfig()
+	cfg.PQSize = 2
+	cfg.Ports = 1
+	c, _ := New(cfg)
+	m := &fakeMemory{latency: 100}
+	c.SetLower(m)
+
+	for i := 0; i < 5; i++ {
+		(issuer{c}).Issue(prefetch.Candidate{Addr: memsys.Addr(0x6000 + i*64), Class: memsys.ClassCS})
+	}
+	if c.Stats.PrefetchDropPQFull != 3 {
+		t.Errorf("PrefetchDropPQFull = %d, want 3", c.Stats.PrefetchDropPQFull)
+	}
+	if c.Stats.PrefetchIssued != 2 {
+		t.Errorf("PrefetchIssued = %d, want 2", c.Stats.PrefetchIssued)
+	}
+}
+
+func TestTranslatorDropsUnmapped(t *testing.T) {
+	c, _ := New(testConfig())
+	m := &fakeMemory{latency: 10}
+	c.SetLower(m)
+	c.SetTranslator(func(v memsys.Addr) (memsys.Addr, bool) {
+		if v < 0x10000 {
+			return v + 0x100000, true
+		}
+		return 0, false
+	})
+	if (issuer{c}).Issue(prefetch.Candidate{Addr: 0x20000}) {
+		t.Error("unmapped candidate accepted")
+	}
+	if c.Stats.PrefetchDropUnmapped != 1 {
+		t.Errorf("PrefetchDropUnmapped = %d, want 1", c.Stats.PrefetchDropUnmapped)
+	}
+	if !((issuer{c}).Issue(prefetch.Candidate{Addr: 0x8000})) {
+		t.Error("mapped candidate rejected")
+	}
+	run(c, m, 100)
+	if !c.Probe(0x108000) {
+		t.Error("prefetch filled at untranslated address")
+	}
+}
+
+func TestDeepFillLevelPassesThrough(t *testing.T) {
+	// A prefetch with FillLevel deeper than this cache must be
+	// forwarded without filling this cache.
+	cfg := testConfig()
+	c, _ := New(cfg)
+	m := &fakeMemory{latency: 10}
+	c.SetLower(m)
+
+	r := &memsys.Request{
+		Addr: 0x7000, Type: memsys.Prefetch,
+		FillLevel: memsys.LevelL2, PfOrigin: memsys.LevelL1D,
+	}
+	c.AddPrefetch(r)
+	run(c, m, 100)
+	if m.Pf != 1 {
+		t.Fatalf("forwarded prefetches = %d, want 1", m.Pf)
+	}
+	if c.Probe(0x7000) {
+		t.Error("pass-through prefetch filled the upper cache")
+	}
+}
+
+func TestRFOMakesLineDirty(t *testing.T) {
+	c, _ := New(testConfig())
+	m := &fakeMemory{latency: 10}
+	c.SetLower(m)
+	col := newCollector()
+
+	rfo := load(0x9000, 1, col)
+	rfo.Type = memsys.RFO
+	c.AddRead(rfo)
+	run(c, m, 50)
+	set, way := c.lookup(memsys.BlockNumber(0x9000))
+	if way < 0 {
+		t.Fatal("block not resident")
+	}
+	if !c.lines[set*c.cfg.Ways+way].Dirty {
+		t.Error("RFO-filled line not dirty")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Sets: 0, Ways: 4},
+		{Sets: 3, Ways: 4},
+		{Sets: 4, Ways: 0},
+		{Sets: 4, Ways: 2, Repl: "nope"},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}
+
+func TestStatsConsistencyProperty(t *testing.T) {
+	// Invariant: for each access type, hits + misses == accesses, and
+	// every returned block completes exactly once.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig()
+		cfg.Sets = 8
+		cfg.Ways = 2
+		c, _ := New(cfg)
+		m := &fakeMemory{latency: int64(5 + rng.Intn(40))}
+		c.SetLower(m)
+		col := newCollector()
+		tag := int64(0)
+		var cycle int64
+		for i := 0; i < 300; i++ {
+			if rng.Intn(2) == 0 {
+				r := load(memsys.Addr(rng.Intn(64))*64, tag+1, col)
+				if rng.Intn(4) == 0 {
+					r.Type = memsys.RFO
+				}
+				if c.AddRead(r) {
+					tag++ // only accepted requests owe a completion
+				}
+			}
+			m.Cycle(cycle)
+			c.Cycle(cycle)
+			cycle++
+		}
+		for i := 0; i < 2000; i++ {
+			m.Cycle(cycle)
+			c.Cycle(cycle)
+			cycle++
+		}
+		for _, typ := range []memsys.AccessType{memsys.Load, memsys.RFO} {
+			if c.Stats.Hit[typ]+c.Stats.Miss[typ] != c.Stats.Access[typ] {
+				return false
+			}
+		}
+		return len(col.done) == int(tag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleCopyPerSetProperty(t *testing.T) {
+	// After arbitrary traffic, no block may appear twice in a set.
+	cfg := testConfig()
+	cfg.Sets = 4
+	cfg.Ways = 4
+	c, _ := New(cfg)
+	m := &fakeMemory{latency: 7}
+	c.SetLower(m)
+	col := newCollector()
+	rng := rand.New(rand.NewSource(99))
+	var cycle int64
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(2) == 0 {
+			c.AddRead(load(memsys.Addr(rng.Intn(32))*64, int64(i), col))
+		}
+		if rng.Intn(8) == 0 {
+			(issuer{c}).Issue(prefetch.Candidate{Addr: memsys.Addr(rng.Intn(32)) * 64})
+		}
+		m.Cycle(cycle)
+		c.Cycle(cycle)
+		cycle++
+	}
+	for set := 0; set < cfg.Sets; set++ {
+		seen := map[uint64]bool{}
+		for w := 0; w < cfg.Ways; w++ {
+			l := c.lines[set*cfg.Ways+w]
+			if !l.Valid {
+				continue
+			}
+			if seen[l.Tag] {
+				t.Fatalf("block %#x duplicated in set %d", l.Tag, set)
+			}
+			seen[l.Tag] = true
+			if int(l.Tag)%cfg.Sets != set {
+				t.Fatalf("block %#x in wrong set %d", l.Tag, set)
+			}
+		}
+	}
+}
+
+func TestQueueBasics(t *testing.T) {
+	q := newQueue(2)
+	if q.peek() != nil {
+		t.Error("peek on empty queue")
+	}
+	r1, r2, r3 := &memsys.Request{Tag: 1}, &memsys.Request{Tag: 2}, &memsys.Request{Tag: 3}
+	if !q.push(r1) || !q.push(r2) {
+		t.Fatal("push failed")
+	}
+	if q.push(r3) {
+		t.Error("push succeeded on full queue")
+	}
+	if q.peek().Tag != 1 {
+		t.Error("FIFO order violated")
+	}
+	q.pop()
+	if !q.push(r3) {
+		t.Error("push failed after pop")
+	}
+	if q.peek().Tag != 2 {
+		t.Error("FIFO order violated after wrap")
+	}
+	if q.len() != 2 || q.cap() != 2 || !q.full() {
+		t.Error("occupancy accounting wrong")
+	}
+}
+
+func TestUselessEvictedCounter(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sets = 1
+	cfg.Ways = 1
+	c, _ := New(cfg)
+	m := &fakeMemory{latency: 5}
+	c.SetLower(m)
+	col := newCollector()
+
+	(issuer{c}).Issue(prefetch.Candidate{Addr: 0x0, Class: memsys.ClassNL})
+	run(c, m, 50)
+	c.AddRead(load(0x40, 1, col)) // evicts the untouched prefetch
+	run(c, m, 100)
+	if c.Stats.UselessEvicted != 1 {
+		t.Errorf("UselessEvicted = %d, want 1", c.Stats.UselessEvicted)
+	}
+}

@@ -1,0 +1,82 @@
+package cache
+
+import "ipcp/internal/memsys"
+
+// mshrEntry tracks one outstanding miss. All requests to the same block
+// merge into a single entry; each keeps its own return path so the fill
+// can answer every waiter.
+type mshrEntry struct {
+	block   uint64 // block number (addr >> BlockBits)
+	waiters []*memsys.Request
+
+	// issued is set once the miss has been forwarded to the lower
+	// level; readyToIssue delays forwarding by the tag-lookup latency.
+	issued       bool
+	readyToIssue int64
+
+	// prefetchOnly is true while every waiter is a prefetch; a demand
+	// merging into such an entry is a "late prefetch".
+	prefetchOnly bool
+	// class is the prefetch class of the initiating prefetch (for
+	// per-class fill attribution).
+	class memsys.PrefetchClass
+	// meta is the IPCP metadata of the initiating prefetch.
+	meta uint16
+	// fillLevel is the shallowest (closest-to-core) level the fill
+	// must reach across all waiters.
+	fillLevel memsys.Level
+	// born is the cycle the entry was allocated (latency stats).
+	born int64
+}
+
+// mshrTable is a fully associative miss-status holding register file.
+// Iteration over entries is in allocation order so the simulation stays
+// deterministic.
+type mshrTable struct {
+	byBlock map[uint64]*mshrEntry
+	order   []*mshrEntry
+	cap     int
+}
+
+func newMSHR(capacity int) *mshrTable {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &mshrTable{byBlock: make(map[uint64]*mshrEntry, capacity), cap: capacity}
+}
+
+func (m *mshrTable) find(block uint64) *mshrEntry { return m.byBlock[block] }
+
+func (m *mshrTable) full() bool { return len(m.order) >= m.cap }
+
+func (m *mshrTable) len() int { return len(m.order) }
+
+// alloc inserts a new entry; the caller must have checked full().
+func (m *mshrTable) alloc(e *mshrEntry) {
+	m.byBlock[e.block] = e
+	m.order = append(m.order, e)
+}
+
+func (m *mshrTable) free(block uint64) {
+	e, ok := m.byBlock[block]
+	if !ok {
+		return
+	}
+	delete(m.byBlock, block)
+	for i, x := range m.order {
+		if x == e {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// unissued invokes f for every entry not yet forwarded downward, in
+// allocation order.
+func (m *mshrTable) unissued(f func(*mshrEntry)) {
+	for _, e := range m.order {
+		if !e.issued {
+			f(e)
+		}
+	}
+}

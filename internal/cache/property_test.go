@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipcp/internal/memsys"
+	"ipcp/internal/prefetch"
+)
+
+// TestMSHRNeverOverflowsProperty: under arbitrary interleavings of
+// demands and prefetches, MSHR occupancy never exceeds its capacity
+// and every allocated entry eventually frees.
+func TestMSHRNeverOverflowsProperty(t *testing.T) {
+	f := func(seed int64, mshrs uint8) bool {
+		capacity := int(mshrs%14) + 2
+		cfg := testConfig()
+		cfg.MSHRs = capacity
+		c, _ := New(cfg)
+		m := &fakeMemory{latency: 30}
+		c.SetLower(m)
+		col := newCollector()
+		rng := rand.New(rand.NewSource(seed))
+		var cycle int64
+		for i := 0; i < 600; i++ {
+			if rng.Intn(2) == 0 {
+				c.AddRead(load(memsys.Addr(rng.Intn(128))*64, int64(i), col))
+			}
+			if rng.Intn(4) == 0 {
+				(issuer{c}).Issue(prefetch.Candidate{Addr: memsys.Addr(rng.Intn(128)) * 64})
+			}
+			m.Cycle(cycle)
+			c.Cycle(cycle)
+			if _, _, _, occ := c.Occupancy(); occ > capacity {
+				return false
+			}
+			cycle++
+		}
+		for i := 0; i < 3000; i++ {
+			m.Cycle(cycle)
+			c.Cycle(cycle)
+			cycle++
+		}
+		_, _, _, occ := c.Occupancy()
+		return occ == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFillMatchesRequestProperty: the block a receiver gets back is
+// always the block it asked for.
+func TestFillMatchesRequestProperty(t *testing.T) {
+	type probe struct {
+		want map[int64]memsys.Addr
+		bad  bool
+	}
+	f := func(seed int64) bool {
+		cfg := testConfig()
+		c, _ := New(cfg)
+		m := &fakeMemory{latency: 12}
+		c.SetLower(m)
+		p := &probe{want: map[int64]memsys.Addr{}}
+		recv := recvFunc(func(now int64, r *memsys.Request) {
+			if memsys.BlockAlign(p.want[r.Tag]) != r.Block() {
+				p.bad = true
+			}
+		})
+		rng := rand.New(rand.NewSource(seed))
+		var cycle int64
+		for i := 0; i < 400; i++ {
+			if rng.Intn(2) == 0 {
+				addr := memsys.Addr(rng.Intn(512)) * 64
+				tag := int64(i)
+				p.want[tag] = addr
+				c.AddRead(&memsys.Request{
+					Addr: addr, VAddr: addr, Type: memsys.Load,
+					Tag: tag, ReturnTo: recv,
+				})
+			}
+			m.Cycle(cycle)
+			c.Cycle(cycle)
+			cycle++
+		}
+		for i := 0; i < 2000; i++ {
+			m.Cycle(cycle)
+			c.Cycle(cycle)
+			cycle++
+		}
+		return !p.bad
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// recvFunc adapts a function to memsys.Receiver.
+type recvFunc func(int64, *memsys.Request)
+
+func (f recvFunc) ReturnData(now int64, r *memsys.Request) { f(now, r) }
+
+// TestWritebackPreservesDataVisibility: a dirty block evicted and then
+// re-read must come back from below (the writeback reached the lower
+// level before the refetch).
+func TestWritebackPreservesDataVisibility(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sets = 1
+	cfg.Ways = 1
+	c, _ := New(cfg)
+	m := &fakeMemory{latency: 8}
+	c.SetLower(m)
+	col := newCollector()
+
+	rfo := load(0x0, 1, col)
+	rfo.Type = memsys.RFO
+	c.AddRead(rfo)
+	run(c, m, 40)
+	c.AddRead(load(0x40, 2, col)) // evicts dirty block 0
+	run(c, m, 40)
+	if m.Writes != 1 {
+		t.Fatalf("writebacks = %d, want 1", m.Writes)
+	}
+	c.AddRead(load(0x0, 3, col)) // re-read evicted block
+	run(c, m, 60)
+	if _, ok := col.done[3]; !ok {
+		t.Fatal("re-read of written-back block never completed")
+	}
+}
+
+// TestExternalPrefetchMetadataPreserved: metadata on an arriving
+// prefetch reaches the attached prefetcher's hook.
+func TestExternalPrefetchMetadataPreserved(t *testing.T) {
+	cfg := testConfig()
+	cfg.Level = memsys.LevelL2
+	c, _ := New(cfg)
+	m := &fakeMemory{latency: 5}
+	c.SetLower(m)
+	var seenMeta uint16
+	c.SetPrefetcher(hookFunc(func(a *prefetch.Access) {
+		if a.Type == memsys.Prefetch && a.Meta != 0 {
+			seenMeta = a.Meta
+		}
+	}))
+	r := &memsys.Request{
+		Addr: 0x9000, Type: memsys.Prefetch,
+		FillLevel: memsys.LevelL1D, PfOrigin: memsys.LevelL1D,
+		PfMeta: 0x123,
+	}
+	c.AddPrefetch(r)
+	run(c, m, 40)
+	if seenMeta != 0x123 {
+		t.Errorf("metadata = %#x, want 0x123", seenMeta)
+	}
+}
+
+// hookFunc adapts a function to prefetch.Prefetcher.
+type hookFunc func(*prefetch.Access)
+
+func (hookFunc) Name() string { return "hook" }
+func (h hookFunc) Operate(now int64, a *prefetch.Access, iss prefetch.Issuer) {
+	h(a)
+}
+func (hookFunc) Fill(int64, *prefetch.FillEvent) {}
+func (hookFunc) Cycle(int64)                     {}

@@ -1,0 +1,49 @@
+package cache
+
+import "ipcp/internal/memsys"
+
+// queue is a fixed-capacity FIFO of requests. Pops are two-phase
+// (peek then pop) so a handler that cannot make progress — e.g. the
+// MSHR is full — can leave the request at the head and retry on a
+// later cycle, which is how the hardware queues behave.
+type queue struct {
+	buf  []*memsys.Request
+	head int
+	size int
+}
+
+func newQueue(capacity int) *queue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &queue{buf: make([]*memsys.Request, capacity)}
+}
+
+func (q *queue) push(r *memsys.Request) bool {
+	if q.size == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = r
+	q.size++
+	return true
+}
+
+func (q *queue) peek() *memsys.Request {
+	if q.size == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *queue) pop() {
+	if q.size == 0 {
+		return
+	}
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+}
+
+func (q *queue) len() int   { return q.size }
+func (q *queue) full() bool { return q.size == len(q.buf) }
+func (q *queue) cap() int   { return len(q.buf) }

@@ -1,0 +1,638 @@
+// Package core implements the paper's contribution: Instruction
+// Pointer Classifier-based spatial Prefetching (IPCP) — the bouquet of
+// tiny per-class prefetchers at the L1-D (constant stride, complex
+// stride, global stream, tentative next-line) and the metadata-driven
+// IPCP at the L2. The data structures mirror Figures 2–6 and the
+// sizing of Table I.
+package core
+
+import (
+	"ipcp/internal/memsys"
+	"ipcp/internal/prefetch"
+)
+
+// L1Config parametrizes the L1-D IPCP. The zero value is not valid;
+// use DefaultL1Config. The class-enable switches and the priority
+// order exist for the paper's ablations (Fig. 13a/13b).
+type L1Config struct {
+	IPTableEntries int // direct-mapped; paper: 64
+	CSPTEntries    int // direct-mapped; paper: 128
+	RSTEntries     int // fully associative LRU; paper: 8
+	SignatureBits  int // paper: 7
+	RegionBits     int // log2 region bytes; paper: 11 (2KB)
+
+	// Default prefetch degrees per class (paper: CS 3, CPLX 3, GS 6).
+	DegreeCS, DegreeCPLX, DegreeGS int
+
+	// CPLXDistance skips the first k CPLX candidates, starting the run
+	// farther ahead — the paper's §V latency-relief option ("the
+	// prefetch distance can be increased ... only to the CPLX class").
+	CPLXDistance int
+
+	// Dense threshold: fraction of region lines that must be touched
+	// before the region trains as dense (paper: 0.75).
+	DenseFraction float64
+
+	// Accuracy watermarks and the per-class fill window for
+	// coordinated throttling (paper: 0.75 / 0.40 / 256).
+	ThrottleHigh   float64
+	ThrottleLow    float64
+	ThrottleWindow int
+
+	// NLThresholdMPKC gates the tentative next-line class: NL is on
+	// while demand misses per kilo-cycle stay below this value (the
+	// paper uses MPKI 50 and notes misses-per-kilo-cycles is equally
+	// effective; the prefetcher observes cycles, not retirements).
+	NLThresholdMPKC float64
+
+	// Class enables (Fig. 13a isolation study).
+	EnableCS, EnableCPLX, EnableGS, EnableNL bool
+
+	// Priority is the hierarchical class order (Fig. 13b); default
+	// GS > CS > CPLX > NL.
+	Priority []memsys.PrefetchClass
+
+	// UseRRFilter enables the recent-request filter (ablation).
+	UseRRFilter bool
+
+	// EmitMetadata controls whether candidates carry the 9-bit L1→L2
+	// payload (§VI-B2 studies turning it off).
+	EmitMetadata bool
+}
+
+// DefaultL1Config returns the paper's configuration.
+func DefaultL1Config() L1Config {
+	return L1Config{
+		IPTableEntries:  64,
+		CSPTEntries:     128,
+		RSTEntries:      8,
+		SignatureBits:   7,
+		RegionBits:      11,
+		DegreeCS:        3,
+		DegreeCPLX:      3,
+		DegreeGS:        6,
+		DenseFraction:   0.75,
+		ThrottleHigh:    0.75,
+		ThrottleLow:     0.40,
+		ThrottleWindow:  256,
+		NLThresholdMPKC: 50,
+		EnableCS:        true,
+		EnableCPLX:      true,
+		EnableGS:        true,
+		EnableNL:        true,
+		Priority: []memsys.PrefetchClass{
+			memsys.ClassGS, memsys.ClassCS, memsys.ClassCPLX, memsys.ClassNL,
+		},
+		UseRRFilter:  true,
+		EmitMetadata: true,
+	}
+}
+
+// ipEntry is one IP-table entry (Fig. 5). The simulator stores the
+// full last virtual block address; the hardware keeps only the two
+// low bits of the virtual page plus the 6-bit line offset, which
+// suffice to recompute the stride across adjacent pages (§IV-A) — the
+// storage accounting in Table I uses the hardware widths.
+type ipEntry struct {
+	tag   uint64
+	valid bool
+
+	lastBlock   uint64 // last virtual cache-block address
+	hasLast     bool
+	stride      int8
+	confidence  uint8 // 2-bit
+	streamValid bool
+	direction   int8 // +1 / -1
+	signature   uint16
+}
+
+// csptEntry is one Complex Stride Prediction Table entry (Fig. 3).
+type csptEntry struct {
+	stride     int8
+	confidence uint8 // 2-bit
+}
+
+// rstEntry is one Region Stream Table entry (Fig. 4).
+type rstEntry struct {
+	region    uint64
+	lastLine  int    // 5-bit last line offset within the region
+	bits      uint64 // one bit per region line
+	posNeg    int    // 6-bit saturating counter, initialized mid-range
+	dense     int    // dense-count
+	trained   bool
+	tentative bool
+	direction int8
+	lru       uint64
+	valid     bool
+}
+
+// classState carries the throttle machinery of one class.
+type classState struct {
+	degree    int // current throttled degree
+	defDegree int
+	fills     uint64 // window counters
+	useful    uint64
+	accuracy  float64
+	measured  bool
+}
+
+// L1IPCP is the L1-D bouquet prefetcher.
+type L1IPCP struct {
+	cfg L1Config
+
+	ipTable []ipEntry
+	cspt    []csptEntry
+	rst     []rstEntry
+	rr      *rrFilter
+	// temporal is the optional future-work temporal component
+	// (EnableTemporal); nil by default.
+	temporal *TemporalTable
+
+	classes [memsys.NumClasses]classState
+
+	// tentative-NL machinery: demand misses per kilo-cycle.
+	missCounter uint64
+	cycleMark   int64
+	nlOn        bool
+
+	clock uint64
+
+	// Stats (per class attribution of issued candidates).
+	Issued [memsys.NumClasses]uint64
+}
+
+// NewL1IPCP builds the L1-D prefetcher.
+func NewL1IPCP(cfg L1Config) *L1IPCP {
+	if cfg.IPTableEntries <= 0 {
+		cfg = DefaultL1Config()
+	}
+	p := &L1IPCP{
+		cfg:     cfg,
+		ipTable: make([]ipEntry, cfg.IPTableEntries),
+		cspt:    make([]csptEntry, cfg.CSPTEntries),
+		rst:     make([]rstEntry, cfg.RSTEntries),
+		rr:      newRRFilter(),
+		nlOn:    true,
+	}
+	p.classes[memsys.ClassCS] = classState{degree: cfg.DegreeCS, defDegree: cfg.DegreeCS, accuracy: 1}
+	p.classes[memsys.ClassCPLX] = classState{degree: cfg.DegreeCPLX, defDegree: cfg.DegreeCPLX, accuracy: 1}
+	p.classes[memsys.ClassGS] = classState{degree: cfg.DegreeGS, defDegree: cfg.DegreeGS, accuracy: 1}
+	p.classes[memsys.ClassNL] = classState{degree: 1, defDegree: 1, accuracy: 1}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *L1IPCP) Name() string { return "ipcp" }
+
+func (p *L1IPCP) regionOf(v memsys.Addr) (region uint64, line int) {
+	region = uint64(v) >> p.cfg.RegionBits
+	line = int(v>>memsys.BlockBits) & (1<<(p.cfg.RegionBits-memsys.BlockBits) - 1)
+	return
+}
+
+func (p *L1IPCP) regionLines() int { return 1 << (p.cfg.RegionBits - memsys.BlockBits) }
+
+func (p *L1IPCP) sigMask() uint16 { return uint16(1<<p.cfg.SignatureBits - 1) }
+
+// ipIndex hashes the instruction pointer into the direct-mapped IP
+// table. Two higher shifted copies are folded in so that regularly
+// spaced load IPs (compilers emit those, at strides of 8 or 16 bytes)
+// do not alias systematically on any single power of two.
+func (p *L1IPCP) ipIndex(ip memsys.Addr) uint64 {
+	h := ip>>2 ^ ip>>5 ^ ip>>11
+	return h % uint64(len(p.ipTable))
+}
+
+// ipTag is the 9-bit partial tag stored per entry.
+func ipTag(ip memsys.Addr) uint64 { return (ip >> 2) & 0x1ff }
+
+// advanceSig implements signature = (signature << 1) XOR stride.
+func (p *L1IPCP) advanceSig(sig uint16, stride int8) uint16 {
+	return (sig<<1 ^ uint16(uint8(stride))) & p.sigMask()
+}
+
+// Operate implements prefetch.Prefetcher: classify the IP and issue
+// prefetches for the winning class.
+func (p *L1IPCP) Operate(now int64, a *prefetch.Access, iss prefetch.Issuer) {
+	if !a.Type.IsDemand() || a.Type == memsys.CodeRead {
+		return
+	}
+	// Per-class usefulness feedback (per-line class bits, §V).
+	if a.HitPrefetched && a.HitClass != memsys.ClassNone {
+		p.classes[a.HitClass].useful++
+	}
+	if !a.Hit {
+		p.missCounter++
+	}
+	v := a.VAddr
+	if v == 0 {
+		v = a.Addr
+	}
+	block := memsys.BlockNumber(v)
+	p.clock++
+
+	if p.cfg.UseRRFilter {
+		p.rr.insert(v)
+	}
+
+	// --- IP table lookup with hysteresis (§V) ---
+	idx := p.ipIndex(a.IP)
+	tag := ipTag(a.IP)
+	e := &p.ipTable[idx]
+	if e.tag != tag || !e.hasLast {
+		if e.hasLast && e.tag != tag && e.valid {
+			// First conflict: keep the incumbent, clear valid. The
+			// RST still trains — region denseness is IP-independent
+			// ("RST is checked concurrently for its training", §V).
+			e.valid = false
+			p.updateRST(v, false, 0)
+			return
+		}
+		// Allocate (or hand over after a second conflict).
+		*e = ipEntry{tag: tag, valid: true, lastBlock: block, hasLast: true}
+		p.trainRST(e, v, block)
+		return
+	}
+	e.valid = true
+
+	// --- stride computation (virtual, page-crossing aware, §IV-A) ---
+	strideFull := int64(block) - int64(e.lastBlock)
+	stride := int8(0)
+	if strideFull >= -64 && strideFull <= 63 {
+		stride = int8(strideFull)
+	}
+	prevBlock := e.lastBlock
+	e.lastBlock = block
+
+	// --- CS training ---
+	if stride != 0 {
+		if stride == e.stride {
+			if e.confidence < 3 {
+				e.confidence++
+			}
+		} else {
+			if e.confidence > 0 {
+				e.confidence--
+			}
+			if e.confidence == 0 {
+				e.stride = stride
+			}
+		}
+	}
+
+	// --- CPLX training (Fig. 3) ---
+	var oldSig uint16
+	if stride != 0 {
+		oldSig = e.signature
+		c := &p.cspt[oldSig%uint16(len(p.cspt))]
+		if c.stride == stride {
+			if c.confidence < 3 {
+				c.confidence++
+			}
+		} else {
+			if c.confidence > 0 {
+				c.confidence--
+			}
+			if c.confidence == 0 {
+				c.stride = stride
+			}
+		}
+		e.signature = p.advanceSig(oldSig, stride)
+	}
+
+	// --- GS training via the RST (Fig. 4) ---
+	gsEligible := p.trainRSTWithPrev(e, v, block, prevBlock)
+	if p.cfg.EnableGS {
+		e.streamValid = gsEligible
+	}
+
+	if strideFull == 0 && !e.streamValid {
+		return // same-block re-access: nothing new to prefetch
+	}
+
+	// --- class selection and prefetch (hierarchical priority, §V) ---
+	p.prefetchFor(e, a, v, iss)
+}
+
+// trainRST handles the first access of a (re)allocated IP entry.
+func (p *L1IPCP) trainRST(e *ipEntry, v memsys.Addr, block uint64) {
+	eligible := p.updateRST(v, false, 0)
+	if p.cfg.EnableGS {
+		e.streamValid = eligible
+		if eligible {
+			e.direction = p.rstDirection(v)
+		}
+	}
+}
+
+// trainRSTWithPrev updates the RST for the access and applies the
+// tentative-region chaining (§IV-C): if the IP's previous region was
+// trained dense, the new region is tentatively dense.
+func (p *L1IPCP) trainRSTWithPrev(e *ipEntry, v memsys.Addr, block, prevBlock uint64) bool {
+	prevRegion := prevBlock >> (p.cfg.RegionBits - memsys.BlockBits)
+	curRegion := block >> (p.cfg.RegionBits - memsys.BlockBits)
+	carryTentative := false
+	carryDir := int8(0)
+	if curRegion != prevRegion {
+		if pe := p.findRST(prevRegion); pe != nil && pe.trained {
+			carryTentative = true
+			carryDir = pe.direction
+		}
+	}
+	eligible := p.updateRST(v, carryTentative, carryDir)
+	if eligible {
+		e.direction = p.rstDirection(v)
+	}
+	return eligible
+}
+
+// updateRST records the access in the region stream table and reports
+// whether the region is (tentatively) dense, making its IPs GS IPs.
+// A tentatively dense region inherits the trained direction of the
+// IP's previous region (carryDir) until its own votes accumulate.
+func (p *L1IPCP) updateRST(v memsys.Addr, carryTentative bool, carryDir int8) bool {
+	region, line := p.regionOf(v)
+	p.clock++
+	e := p.findRST(region)
+	if e == nil {
+		e = p.allocRST(region)
+		e.tentative = carryTentative
+		if carryTentative && carryDir != 0 {
+			// Bias the pos/neg counter toward the inherited direction
+			// so a single spurious first vote cannot flip it.
+			if carryDir > 0 {
+				e.posNeg = 40
+			} else {
+				e.posNeg = 24
+			}
+		}
+	}
+	e.lru = p.clock
+
+	// Direction voting: compare to the last line offset in the region
+	// (the allocation access carries no vote — there is no previous
+	// offset within the region yet).
+	if e.lastLine >= 0 && line != e.lastLine {
+		if line > e.lastLine {
+			if e.posNeg < 63 {
+				e.posNeg++
+			}
+		} else if e.posNeg > 0 {
+			e.posNeg--
+		}
+	}
+	e.lastLine = line
+	if e.posNeg >= 32 {
+		e.direction = 1
+	} else {
+		e.direction = -1
+	}
+
+	if e.bits&(1<<uint(line)) == 0 {
+		e.bits |= 1 << uint(line)
+		e.dense++
+		if float64(e.dense) >= p.cfg.DenseFraction*float64(p.regionLines()) {
+			e.trained = true
+		}
+	}
+	return e.trained || e.tentative
+}
+
+func (p *L1IPCP) findRST(region uint64) *rstEntry {
+	for i := range p.rst {
+		if p.rst[i].valid && p.rst[i].region == region {
+			return &p.rst[i]
+		}
+	}
+	return nil
+}
+
+func (p *L1IPCP) allocRST(region uint64) *rstEntry {
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range p.rst {
+		if !p.rst[i].valid {
+			victim, oldest = i, 0
+			break
+		}
+		if p.rst[i].lru < oldest {
+			victim, oldest = i, p.rst[i].lru
+		}
+	}
+	p.rst[victim] = rstEntry{
+		region: region, lastLine: -1,
+		posNeg: 32, // 6-bit counter initialized to 2^5
+		valid:  true,
+	}
+	return &p.rst[victim]
+}
+
+func (p *L1IPCP) rstDirection(v memsys.Addr) int8 {
+	region, _ := p.regionOf(v)
+	if e := p.findRST(region); e != nil {
+		return e.direction
+	}
+	return 1
+}
+
+// prefetchFor picks the highest-priority eligible class and issues its
+// prefetches. If GS wins but its accuracy sits below the low
+// watermark, the lower classes also get to prefetch (§V, coordinated
+// throttling).
+func (p *L1IPCP) prefetchFor(e *ipEntry, a *prefetch.Access, v memsys.Addr, iss prefetch.Issuer) {
+	chosen := memsys.ClassNone
+	for _, cls := range p.cfg.Priority {
+		if p.eligible(cls, e) {
+			chosen = cls
+			break
+		}
+	}
+	if chosen == memsys.ClassNone {
+		p.temporalIssue(a, v, iss)
+		return
+	}
+	p.issueClass(chosen, e, a.IP, v, iss)
+	if chosen == memsys.ClassNL {
+		// The temporal extension complements NL on irregular streams.
+		p.temporalIssue(a, v, iss)
+	}
+
+	if chosen == memsys.ClassGS {
+		st := &p.classes[memsys.ClassGS]
+		if st.measured && st.accuracy < p.cfg.ThrottleLow {
+			for _, cls := range p.cfg.Priority {
+				if cls != memsys.ClassGS && cls != memsys.ClassNL && p.eligible(cls, e) {
+					p.issueClass(cls, e, a.IP, v, iss)
+					break
+				}
+			}
+		}
+	}
+}
+
+// eligible reports whether the IP currently belongs to the class.
+func (p *L1IPCP) eligible(cls memsys.PrefetchClass, e *ipEntry) bool {
+	switch cls {
+	case memsys.ClassGS:
+		return p.cfg.EnableGS && e.streamValid
+	case memsys.ClassCS:
+		return p.cfg.EnableCS && e.confidence >= 2 && e.stride != 0
+	case memsys.ClassCPLX:
+		if !p.cfg.EnableCPLX {
+			return false
+		}
+		c := p.cspt[e.signature%uint16(len(p.cspt))]
+		return c.confidence >= 1 && c.stride != 0
+	case memsys.ClassNL:
+		return p.cfg.EnableNL && p.nlOn
+	}
+	return false
+}
+
+// issueClass generates the candidates of one class.
+func (p *L1IPCP) issueClass(cls memsys.PrefetchClass, e *ipEntry, ip, v memsys.Addr, iss prefetch.Issuer) {
+	switch cls {
+	case memsys.ClassGS:
+		deg := p.classes[memsys.ClassGS].degree
+		dir := int64(e.direction)
+		if dir == 0 {
+			dir = 1
+		}
+		for k := int64(1); k <= int64(deg); k++ {
+			p.issue(iss, ip, v, dir*k, memsys.ClassGS, int8(dir))
+		}
+	case memsys.ClassCS:
+		deg := p.classes[memsys.ClassCS].degree
+		for k := int64(1); k <= int64(deg); k++ {
+			p.issue(iss, ip, v, int64(e.stride)*k, memsys.ClassCS, e.stride)
+		}
+	case memsys.ClassCPLX:
+		deg := p.classes[memsys.ClassCPLX].degree
+		sig := e.signature
+		off := int64(0)
+		issued, skipped := 0, 0
+		for step := 0; step < (deg+p.cfg.CPLXDistance)*2 && issued < deg; step++ {
+			c := p.cspt[sig%uint16(len(p.cspt))]
+			if c.stride == 0 {
+				break
+			}
+			if c.confidence >= 1 {
+				off += int64(c.stride)
+				if skipped < p.cfg.CPLXDistance {
+					skipped++ // distance: walk the path without issuing
+				} else if p.issue(iss, ip, v, off, memsys.ClassCPLX, c.stride) {
+					issued++
+				}
+			}
+			sig = p.advanceSig(sig, c.stride)
+		}
+	case memsys.ClassNL:
+		p.issue(iss, ip, v, 1, memsys.ClassNL, 1)
+	}
+}
+
+// issue emits one candidate at v + off blocks, respecting the page
+// boundary and the RR filter, and attaching the L1→L2 metadata.
+func (p *L1IPCP) issue(iss prefetch.Issuer, ip, v memsys.Addr, offBlocks int64, cls memsys.PrefetchClass, stride int8) bool {
+	cand := memsys.Addr(int64(memsys.BlockNumber(v))+offBlocks) << memsys.BlockBits
+	if !memsys.SamePage(v, cand) {
+		return false // IPCP never crosses the page boundary (§IV)
+	}
+	if p.cfg.UseRRFilter && p.rr.hit(cand) {
+		return false
+	}
+	meta := uint16(0)
+	if p.cfg.EmitMetadata {
+		s := stride
+		// Stride metadata is passed down only when the class accuracy
+		// clears the high watermark (§V, metadata decoding).
+		if st := &p.classes[cls]; st.measured && st.accuracy <= p.cfg.ThrottleHigh {
+			s = 0
+		}
+		meta = memsys.Metadata{Class: cls, Stride: s}.Encode()
+	}
+	ok := iss.Issue(prefetch.Candidate{
+		Addr:  cand,
+		IP:    ip,
+		Class: cls,
+		Meta:  meta,
+	})
+	if ok {
+		p.Issued[cls]++
+		if p.cfg.UseRRFilter {
+			p.rr.insert(cand)
+		}
+	}
+	return ok
+}
+
+// Fill implements prefetch.Prefetcher: per-class fill counting drives
+// the accuracy window.
+func (p *L1IPCP) Fill(now int64, f *prefetch.FillEvent) {
+	if !f.Prefetch || f.Class == memsys.ClassNone {
+		return
+	}
+	st := &p.classes[f.Class]
+	st.fills++
+	if st.fills >= uint64(p.cfg.ThrottleWindow) {
+		p.throttle(f.Class)
+	}
+}
+
+// throttle applies the epoch's accuracy to the class degree (§V,
+// coordinated prefetch throttling).
+func (p *L1IPCP) throttle(cls memsys.PrefetchClass) {
+	st := &p.classes[cls]
+	acc := float64(st.useful) / float64(st.fills)
+	st.accuracy = acc
+	st.measured = true
+	st.fills, st.useful = 0, 0
+	switch {
+	case acc > p.cfg.ThrottleHigh:
+		if st.degree < st.defDegree {
+			st.degree++
+		}
+	case acc < p.cfg.ThrottleLow:
+		if st.degree > 1 {
+			st.degree--
+		}
+	}
+}
+
+// Cycle implements prefetch.Prefetcher: the MPKC epoch for the
+// tentative-NL gate.
+func (p *L1IPCP) Cycle(now int64) {
+	const epoch = 4096
+	if now-p.cycleMark < epoch {
+		return
+	}
+	mpkc := float64(p.missCounter) * 1000 / float64(now-p.cycleMark)
+	p.nlOn = mpkc < p.cfg.NLThresholdMPKC
+	p.missCounter = 0
+	p.cycleMark = now
+}
+
+// ClassAccuracy exposes a class's last measured accuracy (testing and
+// reports).
+func (p *L1IPCP) ClassAccuracy(cls memsys.PrefetchClass) float64 {
+	return p.classes[cls].accuracy
+}
+
+// ClassDegree exposes a class's current throttled degree.
+func (p *L1IPCP) ClassDegree(cls memsys.PrefetchClass) int {
+	return p.classes[cls].degree
+}
+
+// NLEnabled reports the tentative-NL gate state.
+func (p *L1IPCP) NLEnabled() bool { return p.nlOn }
+
+// DebugEntries invokes f for every trained IP-table entry (testing and
+// diagnostics).
+func (p *L1IPCP) DebugEntries(f func(idx int, tag uint64, stride int8, conf uint8, stream bool, sig uint16)) {
+	for i := range p.ipTable {
+		e := &p.ipTable[i]
+		if e.hasLast {
+			f(i, e.tag, e.stride, e.confidence, e.streamValid, e.signature)
+		}
+	}
+}

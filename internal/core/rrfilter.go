@@ -1,0 +1,49 @@
+package core
+
+import "ipcp/internal/memsys"
+
+// rrFilter is the paper's 32-entry recent-request filter: it keeps
+// 12-bit partial tags of recently seen demand blocks and recently
+// generated prefetch addresses, so IPCP never probes the
+// bandwidth-starved L1-D before issuing — a hit in the filter drops
+// the candidate instead (§V, "L1-D bandwidth and Recent Request
+// Filter").
+type rrFilter struct {
+	tags []uint16
+	pos  int
+}
+
+const (
+	rrEntries = 32
+	rrTagBits = 12
+)
+
+func newRRFilter() *rrFilter {
+	f := &rrFilter{tags: make([]uint16, rrEntries)}
+	for i := range f.tags {
+		f.tags[i] = 0xffff // invalid
+	}
+	return f
+}
+
+func rrTag(addr memsys.Addr) uint16 {
+	b := memsys.BlockNumber(addr)
+	return uint16((b ^ b>>rrTagBits) & (1<<rrTagBits - 1))
+}
+
+// hit reports whether addr's partial tag is present.
+func (f *rrFilter) hit(addr memsys.Addr) bool {
+	t := rrTag(addr)
+	for _, x := range f.tags {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// insert records addr, replacing the oldest entry (FIFO).
+func (f *rrFilter) insert(addr memsys.Addr) {
+	f.tags[f.pos] = rrTag(addr)
+	f.pos = (f.pos + 1) % rrEntries
+}

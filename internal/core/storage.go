@@ -1,0 +1,107 @@
+package core
+
+import "fmt"
+
+// Storage reproduces Table I of the paper: the bit-exact hardware
+// budget of IPCP at the L1 and L2. The widths are the hardware widths
+// of Fig. 5/6 (the simulator's in-memory structs are wider for
+// convenience; what the paper costs is the hardware encoding).
+type Storage struct {
+	L1Bits     int
+	OthersBits int
+	L2Bits     int
+}
+
+// Hardware field widths at the L1 (Fig. 5).
+const (
+	l1IPTagBits       = 9
+	l1ValidBits       = 1
+	l1LastVPageBits   = 2
+	l1LastOffsetBits  = 6
+	l1StrideBits      = 7
+	l1ConfBits        = 2
+	l1StreamValidBits = 1
+	l1DirectionBits   = 1
+	l1SignatureBits   = 7
+
+	csptStrideBits = 7
+	csptConfBits   = 2
+
+	rstRegionIDBits   = 3
+	rstLastOffsetBits = 5
+	rstBitVectorBits  = 32
+	rstPosNegBits     = 6
+	rstDenseBits      = 1
+	rstTrainedBits    = 1
+	rstTentativeBits  = 1
+	rstDirectionBits  = 1
+	rstLRUBits        = 3
+
+	l1ClassBitsPerLine = 2
+	l1Sets             = 64
+	l1Ways             = 12
+
+	rrFilterTagBits = 12
+
+	// "Others" (Table I): tentative-NL bit, per-class issue/hit
+	// counters, miss + instruction counters, per-class accuracy
+	// registers and the MPKI register.
+	tentativeNLBits    = 1
+	perClassIssuedBits = 8 * 4
+	perClassHitsBits   = 8 * 4
+	missCounterBits    = 10
+	instrCounterBits   = 10
+	accuracyRegBits    = 7 * 4 // three 7-bit accuracy registers + 7-bit MPKI
+)
+
+// Hardware field widths at the L2 (Fig. 6): 9-bit tag + valid + 2-bit
+// class + 7-bit stride = 19 bits per entry.
+const (
+	l2EntryBits        = 19
+	l2TentativeNLBits  = 1
+	l2MissCounterBits  = 10
+	l2InstrCounterBits = 10
+)
+
+// ipTableEntryBits is the width of one shared L1 IP-table entry.
+func ipTableEntryBits() int {
+	return l1IPTagBits + l1ValidBits + l1LastVPageBits + l1LastOffsetBits +
+		l1StrideBits + l1ConfBits + l1StreamValidBits + l1DirectionBits + l1SignatureBits
+}
+
+// rstEntryBits is the width of one RST entry.
+func rstEntryBits() int {
+	return rstRegionIDBits + rstLastOffsetBits + rstBitVectorBits + rstPosNegBits +
+		rstDenseBits + rstTrainedBits + rstTentativeBits + rstDirectionBits + rstLRUBits
+}
+
+// ComputeStorage returns the Table I budget for the given configs.
+func ComputeStorage(l1 L1Config, l2 L2Config) Storage {
+	var s Storage
+	s.L1Bits = ipTableEntryBits()*l1.IPTableEntries +
+		(csptStrideBits+csptConfBits)*l1.CSPTEntries +
+		rstEntryBits()*l1.RSTEntries +
+		l1ClassBitsPerLine*l1Sets*l1Ways +
+		rrFilterTagBits*rrEntries
+	s.OthersBits = tentativeNLBits + perClassIssuedBits + perClassHitsBits +
+		missCounterBits + instrCounterBits + accuracyRegBits
+	s.L2Bits = l2EntryBits*l2.IPTableEntries +
+		l2TentativeNLBits + l2MissCounterBits + l2InstrCounterBits
+	return s
+}
+
+// L1Bytes is the L1 budget (tables + others) rounded up to bytes.
+func (s Storage) L1Bytes() int { return (s.L1Bits + s.OthersBits + 7) / 8 }
+
+// L2Bytes is the L2 budget rounded up to bytes.
+func (s Storage) L2Bytes() int { return (s.L2Bits + 7) / 8 }
+
+// TotalBytes is the whole-framework budget.
+func (s Storage) TotalBytes() int { return s.L1Bytes() + s.L2Bytes() }
+
+// String formats the budget like Table I.
+func (s Storage) String() string {
+	return fmt.Sprintf(
+		"IPCP at L1: %d bits (+%d bits counters) = %d bytes; IPCP at L2: %d bits = %d bytes; total %d bytes",
+		s.L1Bits, s.OthersBits, s.L1Bytes(), s.L2Bits, s.L2Bytes(), s.TotalBytes())
+}

@@ -1,0 +1,317 @@
+package cpu
+
+import (
+	"testing"
+
+	"ipcp/internal/memsys"
+	"ipcp/internal/trace"
+	"ipcp/internal/vmem"
+)
+
+// fakeL1 answers every read after a fixed latency.
+type fakeL1 struct {
+	latency int64
+	pend    []fakeFill
+	now     int64
+	Reads   int
+	RFOs    int
+	Code    int
+	// issued logs the virtual addresses of data-side requests in
+	// arrival order.
+	issued []uint64
+	// reject makes AddRead fail (backpressure tests).
+	reject bool
+}
+
+type fakeFill struct {
+	at  int64
+	req *memsys.Request
+}
+
+func (m *fakeL1) AddRead(r *memsys.Request) bool {
+	if m.reject {
+		return false
+	}
+	switch r.Type {
+	case memsys.RFO:
+		m.RFOs++
+		m.issued = append(m.issued, r.VAddr)
+	case memsys.CodeRead:
+		m.Code++
+	default:
+		m.Reads++
+		m.issued = append(m.issued, r.VAddr)
+	}
+	m.pend = append(m.pend, fakeFill{at: m.now + m.latency, req: r})
+	return true
+}
+
+func (m *fakeL1) AddWrite(r *memsys.Request) bool    { return true }
+func (m *fakeL1) AddPrefetch(r *memsys.Request) bool { return true }
+
+func (m *fakeL1) Cycle(now int64) {
+	m.now = now
+	rest := m.pend[:0]
+	for _, f := range m.pend {
+		if f.at <= now {
+			if f.req.ReturnTo != nil {
+				f.req.ReturnTo.ReturnData(now, f.req)
+			}
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	m.pend = rest
+}
+
+func computeStream(n int) trace.Stream {
+	instrs := make([]trace.Instr, n)
+	for i := range instrs {
+		instrs[i] = trace.Instr{IP: 0x400000 + uint64(i)*4}
+	}
+	return &trace.SliceStream{Instrs: instrs, Loop: true}
+}
+
+func newCore(t *testing.T, s trace.Stream, mem *fakeL1) *Core {
+	t.Helper()
+	c, err := New(0, DefaultConfig(), s, vmem.NewPhysAllocator(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Attach(mem, mem)
+	return c
+}
+
+func runCore(c *Core, m *fakeL1, cycles int64) {
+	for now := int64(0); now < cycles; now++ {
+		m.Cycle(now)
+		c.Cycle(now)
+	}
+}
+
+func TestComputeBoundIPC(t *testing.T) {
+	m := &fakeL1{latency: 3}
+	c := newCore(t, computeStream(64), m)
+	runCore(c, m, 1000)
+	ipc := c.Stats.IPC()
+	if ipc < 3.0 {
+		t.Errorf("compute-bound IPC = %.2f, want near width (4)", ipc)
+	}
+}
+
+func TestLoadLatencyLimitsIPC(t *testing.T) {
+	// Every instruction loads a distinct cold address with a long
+	// latency; IPC must be far below width.
+	mkStream := func() trace.Stream {
+		instrs := make([]trace.Instr, 256)
+		for i := range instrs {
+			instrs[i] = trace.Instr{
+				IP:    0x400000,
+				Loads: [trace.MaxLoads]uint64{0x100000 + uint64(i)*4096},
+			}
+		}
+		return &trace.SliceStream{Instrs: instrs, Loop: true}
+	}
+	fast := &fakeL1{latency: 5}
+	cfast := newCore(t, mkStream(), fast)
+	runCore(cfast, fast, 3000)
+
+	slow := &fakeL1{latency: 300}
+	cslow := newCore(t, mkStream(), slow)
+	runCore(cslow, slow, 3000)
+
+	if cslow.Stats.IPC() >= cfast.Stats.IPC() {
+		t.Errorf("slow-memory IPC (%.3f) not below fast-memory IPC (%.3f)",
+			cslow.Stats.IPC(), cfast.Stats.IPC())
+	}
+}
+
+func TestMLPOverlapsMisses(t *testing.T) {
+	// Independent loads should overlap: doubling latency must not
+	// double execution time when the ROB can hold many misses.
+	mk := func() trace.Stream {
+		instrs := make([]trace.Instr, 512)
+		for i := range instrs {
+			instrs[i] = trace.Instr{IP: 0x400000, Loads: [trace.MaxLoads]uint64{0x200000 + uint64(i)*64}}
+		}
+		return &trace.SliceStream{Instrs: instrs, Loop: true}
+	}
+	m := &fakeL1{latency: 100}
+	c := newCore(t, mk(), m)
+	runCore(c, m, 5000)
+	// With a 256-entry ROB and 2 load ports, ~2 loads/cycle issue and
+	// overlap; IPC should be far above 1/latency.
+	if ipc := c.Stats.IPC(); ipc < 0.5 {
+		t.Errorf("MLP not exploited: IPC = %.3f", ipc)
+	}
+}
+
+func TestROBBlocksOnOutstandingLoad(t *testing.T) {
+	// One very long load followed by compute: retirement must stall.
+	instrs := []trace.Instr{{IP: 0x400000, Loads: [trace.MaxLoads]uint64{0x100000}}}
+	for i := 0; i < 1000; i++ {
+		instrs = append(instrs, trace.Instr{IP: 0x400004 + uint64(i)*4})
+	}
+	m := &fakeL1{latency: 10000}
+	c := newCore(t, &trace.SliceStream{Instrs: instrs, Loop: true}, m)
+	runCore(c, m, 2000)
+	if c.Stats.Retired != 0 {
+		t.Errorf("retired %d instructions past an unresolved load", c.Stats.Retired)
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	instrs := []trace.Instr{
+		{IP: 0x400000, Stores: [trace.MaxStores]uint64{0x100000}},
+		{IP: 0x400004},
+	}
+	m := &fakeL1{latency: 10000}
+	c := newCore(t, &trace.SliceStream{Instrs: instrs, Loop: true}, m)
+	runCore(c, m, 500)
+	if c.Stats.Retired == 0 {
+		t.Error("stores blocked retirement")
+	}
+	if m.RFOs == 0 {
+		t.Error("no RFO issued for stores")
+	}
+}
+
+func TestBranchMispredictsStallFetch(t *testing.T) {
+	// Alternating taken/not-taken defeats the bimodal predictor.
+	alternating := make([]trace.Instr, 64)
+	for i := range alternating {
+		alternating[i] = trace.Instr{
+			IP: 0x400000, IsBranch: true, Taken: i%2 == 0, Target: 0x400000,
+		}
+	}
+	m := &fakeL1{latency: 3}
+	c := newCore(t, &trace.SliceStream{Instrs: alternating, Loop: true}, m)
+	runCore(c, m, 2000)
+	if c.Stats.Mispredicts == 0 {
+		t.Fatal("no mispredicts recorded for alternating branch")
+	}
+	if c.Stats.IPC() > 1.0 {
+		t.Errorf("IPC %.2f too high for a mispredict-bound loop", c.Stats.IPC())
+	}
+
+	// A always-taken branch trains quickly: far fewer mispredicts.
+	taken := []trace.Instr{{IP: 0x500000, IsBranch: true, Taken: true, Target: 0x500000}}
+	m2 := &fakeL1{latency: 3}
+	c2 := newCore(t, &trace.SliceStream{Instrs: taken, Loop: true}, m2)
+	runCore(c2, m2, 2000)
+	rate1 := float64(c.Stats.Mispredicts) / float64(c.Stats.Branches)
+	rate2 := float64(c2.Stats.Mispredicts) / float64(c2.Stats.Branches)
+	if rate2 >= rate1 {
+		t.Errorf("predictable branch mispredict rate %.2f not below alternating %.2f", rate2, rate1)
+	}
+}
+
+func TestLoadsCarryIPAndAddresses(t *testing.T) {
+	instrs := []trace.Instr{
+		{IP: 0xabc000, Loads: [trace.MaxLoads]uint64{0x123456}},
+	}
+	m := &fakeL1{latency: 5}
+	c := newCore(t, &trace.SliceStream{Instrs: instrs, Loop: true}, m)
+	// The very first load pays a cold TLB walk before it can issue.
+	runCore(c, m, 400)
+	var found bool
+	for _, f := range m.pend {
+		_ = f
+	}
+	// Inspect via stats instead: at least one load issued, carrying
+	// the right virtual address through translation.
+	if m.Reads == 0 {
+		t.Fatal("no loads issued")
+	}
+	// Direct check on a fresh request.
+	m2 := &fakeL1{latency: 1000}
+	c2 := newCore(t, &trace.SliceStream{Instrs: instrs, Loop: true}, m2)
+	runCore(c2, m2, 300)
+	for _, f := range m2.pend {
+		if f.req.Type == memsys.Load {
+			found = true
+			if f.req.IP != 0xabc000 {
+				t.Errorf("load IP = %#x, want 0xabc000", f.req.IP)
+			}
+			if f.req.VAddr != 0x123456 {
+				t.Errorf("load VAddr = %#x, want 0x123456", f.req.VAddr)
+			}
+			if f.req.Addr&(memsys.PageSize-1) != 0x123456&(memsys.PageSize-1) {
+				t.Errorf("physical page offset not preserved: %#x", f.req.Addr)
+			}
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no pending load found")
+	}
+}
+
+func TestBackpressureRetries(t *testing.T) {
+	instrs := []trace.Instr{{IP: 0x400000, Loads: [trace.MaxLoads]uint64{0x100000}}}
+	m := &fakeL1{latency: 5, reject: true}
+	c := newCore(t, &trace.SliceStream{Instrs: instrs, Loop: true}, m)
+	runCore(c, m, 100)
+	if m.Reads != 0 {
+		t.Fatal("reads accepted while rejecting")
+	}
+	m.reject = false
+	for now := int64(100); now < 200; now++ {
+		m.Cycle(now)
+		c.Cycle(now)
+	}
+	if m.Reads == 0 {
+		t.Error("queued loads never retried after backpressure lifted")
+	}
+}
+
+func TestCodeReadsIssuedPerBlock(t *testing.T) {
+	// 32 sequential instructions span two 64-byte blocks at 4 B each.
+	m := &fakeL1{latency: 1}
+	c := newCore(t, computeStream(32), m)
+	runCore(c, m, 20)
+	if m.Code == 0 {
+		t.Fatal("no code reads issued")
+	}
+	// Code reads must be far fewer than instructions dispatched.
+	if uint64(m.Code) > c.Stats.Retired {
+		t.Errorf("code reads (%d) exceed retired instructions (%d)", m.Code, c.Stats.Retired)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := &fakeL1{latency: 2}
+	c := newCore(t, computeStream(16), m)
+	runCore(c, m, 100)
+	if c.Stats.Retired == 0 {
+		t.Fatal("nothing retired")
+	}
+	c.ResetStats()
+	if c.Stats.Retired != 0 || c.Stats.Cycles != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(0, Config{Width: 0, ROBSize: 8}, computeStream(1), vmem.NewPhysAllocator(1)); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(0, Config{Width: 4, ROBSize: 0}, computeStream(1), vmem.NewPhysAllocator(1)); err == nil {
+		t.Error("zero ROB accepted")
+	}
+}
+
+func TestFiniteStreamReplays(t *testing.T) {
+	// A non-looping stream is replayed via Reset, as the paper does
+	// for fast-finishing benchmarks in mixes.
+	s := &trace.SliceStream{Instrs: []trace.Instr{{IP: 1}, {IP: 2}}}
+	m := &fakeL1{latency: 1}
+	c := newCore(t, s, m)
+	runCore(c, m, 100)
+	if c.Stats.Retired < 10 {
+		t.Errorf("retired only %d from a replayable stream", c.Stats.Retired)
+	}
+	if c.Done() {
+		t.Error("replayable stream reported Done")
+	}
+}

@@ -1,0 +1,268 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipcp/internal/memsys"
+)
+
+type sink struct {
+	done []int64 // completion cycles
+}
+
+func (s *sink) ReturnData(now int64, r *memsys.Request) { s.done = append(s.done, now) }
+
+func read(addr memsys.Addr, to memsys.Receiver) *memsys.Request {
+	return &memsys.Request{Addr: addr, Type: memsys.Load, ReturnTo: to}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Channels: 0, BanksPerChannel: 8, RowBytes: 8192},
+		{Channels: 3, BanksPerChannel: 8, RowBytes: 8192},
+		{Channels: 2, BanksPerChannel: 0, RowBytes: 8192},
+		{Channels: 2, BanksPerChannel: 8, RowBytes: 16},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig(1)); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	c, _ := New(DefaultConfig(1))
+	s := &sink{}
+	if !c.AddRead(read(0x1000, s)) {
+		t.Fatal("AddRead rejected")
+	}
+	for now := int64(0); now < 500; now++ {
+		c.Cycle(now)
+	}
+	if len(s.done) != 1 {
+		t.Fatalf("completed %d, want 1", len(s.done))
+	}
+	cfg := DefaultConfig(1)
+	want := int64(cfg.TRCD + cfg.TCAS + cfg.BurstCycles)
+	if s.done[0] != want {
+		t.Errorf("first read completed at %d, want %d (closed-row access)", s.done[0], want)
+	}
+	if c.Stats.RowMisses != 1 {
+		t.Errorf("RowMisses = %d, want 1", c.Stats.RowMisses)
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	c, _ := New(DefaultConfig(1))
+	s := &sink{}
+	// Two reads in the same row, then one in a different row of the
+	// same bank.
+	c.AddRead(read(0x0, s))
+	c.AddRead(read(0x40, s))
+	for now := int64(0); now < 1000; now++ {
+		c.Cycle(now)
+	}
+	if c.Stats.RowHits != 1 {
+		t.Errorf("RowHits = %d, want 1", c.Stats.RowHits)
+	}
+	hitLat := s.done[1] - s.done[0]
+
+	// Different row, same channel/bank: rows differ in the high bits.
+	rowStride := memsys.Addr(DefaultConfig(1).RowBytes * DefaultConfig(1).BanksPerChannel)
+	c.AddRead(read(rowStride, s))
+	for now := int64(1000); now < 2000; now++ {
+		c.Cycle(now)
+	}
+	if c.Stats.RowConflicts != 1 {
+		t.Errorf("RowConflicts = %d, want 1", c.Stats.RowConflicts)
+	}
+	confLat := s.done[2] - 1000
+	if hitLat >= confLat {
+		t.Errorf("row hit (%d) not faster than conflict (%d)", hitLat, confLat)
+	}
+}
+
+func TestBandwidthCeiling(t *testing.T) {
+	cfg := DefaultConfig(1)
+	c, _ := New(cfg)
+	s := &sink{}
+	// Saturate with row-hit reads: completions must be spaced at least
+	// BurstCycles apart (one burst per channel at a time).
+	for i := 0; i < 32; i++ {
+		c.AddRead(read(memsys.Addr(i*memsys.BlockSize), s))
+	}
+	for now := int64(0); now < 5000; now++ {
+		c.Cycle(now)
+	}
+	if len(s.done) != 32 {
+		t.Fatalf("completed %d, want 32", len(s.done))
+	}
+	for i := 1; i < len(s.done); i++ {
+		if gap := s.done[i] - s.done[i-1]; gap < int64(cfg.BurstCycles) {
+			t.Fatalf("completions %d and %d only %d cycles apart (burst %d)",
+				i-1, i, gap, cfg.BurstCycles)
+		}
+	}
+}
+
+func TestTwoChannelsDoubleThroughput(t *testing.T) {
+	finish := func(channels int) int64 {
+		c, _ := New(DefaultConfig(channels))
+		s := &sink{}
+		for i := 0; i < 64; i++ {
+			c.AddRead(read(memsys.Addr(i*memsys.BlockSize), s))
+		}
+		now := int64(0)
+		for len(s.done) < 64 && now < 100000 {
+			c.Cycle(now)
+			now++
+		}
+		last := int64(0)
+		for _, d := range s.done {
+			if d > last {
+				last = d
+			}
+		}
+		return last
+	}
+	one, two := finish(1), finish(2)
+	if two >= one {
+		t.Errorf("2-channel finish (%d) not faster than 1-channel (%d)", two, one)
+	}
+	if float64(one)/float64(two) < 1.5 {
+		t.Errorf("2-channel speedup only %.2fx, want near 2x", float64(one)/float64(two))
+	}
+}
+
+func TestWriteDrain(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.QueueSize = 8
+	c, _ := New(cfg)
+	for i := 0; i < 8; i++ {
+		w := &memsys.Request{Addr: memsys.Addr(i * memsys.BlockSize), Type: memsys.Writeback}
+		if !c.AddWrite(w) {
+			t.Fatalf("write %d rejected", i)
+		}
+	}
+	for now := int64(0); now < 5000; now++ {
+		c.Cycle(now)
+	}
+	if c.Stats.Writes != 8 {
+		t.Errorf("drained %d writes, want 8", c.Stats.Writes)
+	}
+	if _, w := c.QueueOccupancy(); w != 0 {
+		t.Errorf("write queue not empty: %d", w)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.QueueSize = 2
+	c, _ := New(cfg)
+	s := &sink{}
+	if !c.AddRead(read(0, s)) || !c.AddRead(read(64, s)) {
+		t.Fatal("first two reads rejected")
+	}
+	if c.AddRead(read(128, s)) {
+		t.Error("third read accepted with full queue")
+	}
+	if c.Stats.ReadQueueFullRejects != 1 {
+		t.Errorf("ReadQueueFullRejects = %d, want 1", c.Stats.ReadQueueFullRejects)
+	}
+}
+
+func TestDecodeMapsAllChannelsAndBanks(t *testing.T) {
+	cfg := DefaultConfig(2)
+	c, _ := New(cfg)
+	chans := map[int]bool{}
+	banks := map[int]bool{}
+	for i := 0; i < 4096; i++ {
+		ch, bk, _ := c.decode(memsys.Addr(i * memsys.BlockSize))
+		chans[ch] = true
+		banks[bk] = true
+		if ch < 0 || ch >= cfg.Channels || bk < 0 || bk >= cfg.BanksPerChannel {
+			t.Fatalf("decode out of range: ch=%d bk=%d", ch, bk)
+		}
+	}
+	if len(chans) != cfg.Channels {
+		t.Errorf("only %d/%d channels used", len(chans), cfg.Channels)
+	}
+	if len(banks) != cfg.BanksPerChannel {
+		t.Errorf("only %d/%d banks used", len(banks), cfg.BanksPerChannel)
+	}
+}
+
+func TestDecodeStable(t *testing.T) {
+	c, _ := New(DefaultConfig(2))
+	f := func(addr uint64) bool {
+		c1, b1, r1 := c.decode(addr)
+		c2, b2, r2 := c.decode(addr)
+		// Same block must always decode identically, and addresses in
+		// the same block must agree.
+		c3, b3, r3 := c.decode(memsys.BlockAlign(addr))
+		return c1 == c2 && b1 == b2 && r1 == r2 && c1 == c3 && b1 == b3 && r1 == r3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEveryReadCompletesProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		if len(addrs) > 48 {
+			addrs = addrs[:48]
+		}
+		c, _ := New(DefaultConfig(1))
+		s := &sink{}
+		accepted := 0
+		for _, a := range addrs {
+			if c.AddRead(read(memsys.Addr(a)*64, s)) {
+				accepted++
+			}
+		}
+		for now := int64(0); now < 50000; now++ {
+			c.Cycle(now)
+		}
+		return len(s.done) == accepted && c.Stats.Reads == uint64(accepted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithBandwidthGBps(t *testing.T) {
+	low := DefaultConfig(1).WithBandwidthGBps(3.2)
+	high := DefaultConfig(1).WithBandwidthGBps(25)
+	if low.BurstCycles <= high.BurstCycles {
+		t.Errorf("3.2GB/s burst (%d) should exceed 25GB/s burst (%d)",
+			low.BurstCycles, high.BurstCycles)
+	}
+	if low.BurstCycles != 80 {
+		t.Errorf("3.2GB/s burst = %d, want 80", low.BurstCycles)
+	}
+}
+
+func TestBusUtilizationBounded(t *testing.T) {
+	c, _ := New(DefaultConfig(1))
+	s := &sink{}
+	for i := 0; i < 16; i++ {
+		c.AddRead(read(memsys.Addr(i*64), s))
+	}
+	for now := int64(0); now < 2000; now++ {
+		c.Cycle(now)
+	}
+	u := c.Stats.BusUtilization()
+	if u < 0 || u > 1 {
+		t.Errorf("utilization out of range: %f", u)
+	}
+	if u == 0 {
+		t.Error("utilization zero despite traffic")
+	}
+	if got := c.Stats.BytesTransferred(); got != 16*64 {
+		t.Errorf("BytesTransferred = %d, want %d", got, 16*64)
+	}
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ipcp/internal/core"
+	"ipcp/internal/prefetch"
+	"ipcp/internal/stats"
+)
+
+// Ablations beyond the paper's own studies: the design choices
+// DESIGN.md §6 calls out, each swept on the memory-intensive set.
+
+func init() {
+	register(Experiment{
+		ID:    "sens-tables",
+		Title: "Prefetch table size sensitivity (§VI-C)",
+		Paper: "Scaling IPCP's tables 2–100× brings only ~0.7% — except for " +
+			"large-code outliers like cactusBSSN.",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "sens-tables", Title: "IPCP geomean speedup per table scale",
+				Columns: []string{"speedup"}}
+			for _, scale := range []int{1, 2, 4, 16} {
+				scale := scale
+				g, err := geomeanVariant(s, s.memIntensive(), fmt.Sprintf("tables-x%d", scale), true,
+					func(c *core.L1Config) {
+						c.IPTableEntries *= scale
+						c.CSPTEntries *= scale
+						c.RSTEntries *= scale
+					})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(fmt.Sprintf("x%d tables", scale), g)
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-rr",
+		Title: "Ablation: recent-request filter",
+		Paper: "(design choice) The RR filter exists so prefetches never probe " +
+			"the bandwidth-starved L1-D; removing it floods the PQ with " +
+			"duplicates.",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "abl-rr", Title: "IPCP geomean speedup with/without the RR filter",
+				Columns: []string{"speedup"}}
+			on, err := geomeanVariant(s, s.memIntensive(), "rr-on", true, func(c *core.L1Config) {})
+			if err != nil {
+				return nil, err
+			}
+			off, err := geomeanVariant(s, s.memIntensive(), "rr-off", true, func(c *core.L1Config) {
+				c.UseRRFilter = false
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("RR filter on (paper)", on)
+			t.AddRow("RR filter off", off)
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-throttle",
+		Title: "Ablation: throttling watermarks",
+		Paper: "(design choice) The paper's 0.75/0.40 watermarks; wider or " +
+			"narrower bands trade coverage against pollution.",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "abl-throttle", Title: "IPCP geomean speedup per watermark pair",
+				Columns: []string{"speedup"}}
+			for _, wm := range [][2]float64{{0.75, 0.40}, {0.90, 0.60}, {0.50, 0.25}, {1.01, -0.01}} {
+				wm := wm
+				label := fmt.Sprintf("high=%.2f low=%.2f", wm[0], wm[1])
+				if wm[1] < 0 {
+					label = "throttling off"
+				}
+				g, err := geomeanVariant(s, s.memIntensive(), "throttle-"+label, true,
+					func(c *core.L1Config) {
+						c.ThrottleHigh, c.ThrottleLow = wm[0], wm[1]
+					})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(label, g)
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-region",
+		Title: "Ablation: GS region size",
+		Paper: "(design choice) 2KB regions; the paper notes bigger regions " +
+			"train slower for marginal benefit.",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "abl-region", Title: "IPCP geomean speedup per GS region size",
+				Columns: []string{"speedup"}}
+			for _, bits := range []int{10, 11, 12} {
+				bits := bits
+				g, err := geomeanVariant(s, s.memIntensive(), fmt.Sprintf("region-%d", bits), true,
+					func(c *core.L1Config) { c.RegionBits = bits })
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(fmt.Sprintf("%dB regions", 1<<bits), g)
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-degree",
+		Title: "Ablation: CPLX prefetch degree",
+		Paper: "(§V) Degree 3 is the CPLX sweet spot; 4+ degrades high-MPKI " +
+			"irregular traces, which is why the L2 has no CPLX.",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "abl-degree", Title: "IPCP geomean speedup per CPLX degree",
+				Columns: []string{"speedup"}}
+			for _, d := range []int{1, 2, 3, 4, 6} {
+				d := d
+				g, err := geomeanVariant(s, s.memIntensive(), fmt.Sprintf("cplxdeg-%d", d), true,
+					func(c *core.L1Config) { c.DegreeCPLX = d })
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(fmt.Sprintf("degree %d", d), g)
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-sig",
+		Title: "Ablation: CPLX signature width",
+		Paper: "(design choice) 7-bit signatures capture the last 7 strides.",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "abl-sig", Title: "IPCP geomean speedup per signature width",
+				Columns: []string{"speedup"}}
+			for _, b := range []int{5, 7, 9} {
+				b := b
+				g, err := geomeanVariant(s, s.memIntensive(), fmt.Sprintf("sig-%d", b), true,
+					func(c *core.L1Config) { c.SignatureBits = b })
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(fmt.Sprintf("%d-bit signature", b), g)
+			}
+			return t, nil
+		},
+	})
+}
+
+func init() {
+	register(Experiment{
+		ID:    "abl-temporal",
+		Title: "Extension: IPCP + temporal component (§VII future work)",
+		Paper: "(future work) The paper proposes a temporal component for " +
+			"covering temporal/irregular accesses on top of the spatial " +
+			"bouquet.",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "abl-temporal",
+				Title:   "Geomean speedup with and without the temporal extension",
+				Columns: []string{"speedup"}}
+			base, err := geomeanVariant(s, s.memIntensive(), "temporal-off", true,
+				func(c *core.L1Config) {})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("IPCP (paper)", base)
+			// The temporal table attaches after construction, so build
+			// the variant directly.
+			specs := make([]RunSpec, 0)
+			names := s.memIntensive()
+			for _, n := range names {
+				specs = append(specs,
+					RunSpec{Workloads: []string{n}},
+					RunSpec{Workloads: []string{n}, ConfigKey: "temporal-on", L2: "ipcp",
+						L1DNew: func() prefetch.Prefetcher {
+							p := core.NewL1IPCP(core.DefaultL1Config())
+							p.EnableTemporal(1024)
+							return p
+						}})
+			}
+			results, err := s.RunAll(specs)
+			if err != nil {
+				return nil, err
+			}
+			sp := make([]float64, len(names))
+			for i := range names {
+				sp[i] = results[2*i+1].IPC[0] / results[2*i].IPC[0]
+			}
+			t.AddRow("IPCP + temporal (1024 entries)", stats.Geomean(sp))
+			return t, nil
+		},
+	})
+}

@@ -1,0 +1,35 @@
+package experiments
+
+// Combo is one multi-level prefetching combination (the paper's
+// Table III).
+type Combo struct {
+	Name         string
+	L1D, L2, LLC string
+	StorageNote  string
+}
+
+// Combos returns the paper's Table III combinations:
+//
+//	SPP+Perceptron+DSPatch  at L2, throttled NL at L1, NL at LLC
+//	MLOP                    at L1, NL at L2+LLC
+//	Bingo (48KB tuning)     at L1, NL at L2+LLC
+//	TSKID                   at L1, SPP at L2
+//	IPCP                    at L1+L2
+func Combos() []Combo {
+	return []Combo{
+		{Name: "SPP+Perc+DSPatch", L1D: "throttled-nl", L2: "spp-ppf-dspatch", LLC: "nl-miss",
+			StorageNote: "32KB at L2 + 0.6KB at L1"},
+		{Name: "MLOP", L1D: "mlop", L2: "nl", LLC: "nl-miss",
+			StorageNote: "8KB at L1"},
+		{Name: "Bingo", L1D: "bingo", L2: "nl", LLC: "nl-miss",
+			StorageNote: "48KB at L1"},
+		{Name: "TSKID", L1D: "tskid", L2: "spp", LLC: "",
+			StorageNote: "52KB at L1 + 6.4KB at L2"},
+		{Name: "IPCP", L1D: "ipcp", L2: "ipcp", LLC: "",
+			StorageNote: "740B at L1 + 155B at L2 = 895B"},
+	}
+}
+
+// baseline is the no-prefetching configuration every figure normalizes
+// against.
+var baseline = Combo{Name: "no-prefetch"}

@@ -1,0 +1,312 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI). Each experiment is registered under the ID used in
+// DESIGN.md (fig1, fig7, ..., tab4, sens-dram, ...) and produces a
+// Table that cmd/experiments renders as markdown and bench_test.go
+// reports as benchmark metrics.
+//
+// Simulations are deterministic, so a Session memoizes results across
+// experiments (the no-prefetching baselines are shared by most
+// figures) and fans independent runs out across CPUs.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"ipcp/internal/prefetch"
+	"ipcp/internal/sim"
+	"ipcp/internal/trace"
+	"ipcp/internal/workload"
+
+	_ "ipcp/internal/core" // register the "ipcp" prefetcher
+)
+
+// Scale sets how much simulation an experiment run buys. The paper
+// simulates 50M warmup + 200M measured instructions per trace; the
+// synthetic workloads reach steady state much sooner, so the default
+// scales are far smaller (see EXPERIMENTS.md).
+type Scale struct {
+	Warmup  uint64
+	Measure uint64
+	// MaxTraces caps the workload list per experiment (0 = all).
+	MaxTraces int
+	// Mixes is the number of heterogeneous multi-core mixes.
+	Mixes int
+	// Cores for the multi-core experiments' "small" configuration.
+	Seed int64
+}
+
+// Quick is the bench-friendly scale.
+var Quick = Scale{Warmup: 20_000, Measure: 60_000, MaxTraces: 8, Mixes: 4, Seed: 1}
+
+// Default is the scale used to produce EXPERIMENTS.md.
+var Default = Scale{Warmup: 50_000, Measure: 200_000, Mixes: 16, Seed: 1}
+
+// Table is one experiment's result: rows of labelled values.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Notes records the paper's reported shape next to ours.
+	Notes []string
+}
+
+// Row is one table line.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Find returns the row with the given label.
+func (t *Table) Find(label string) (Row, bool) {
+	for _, r := range t.Rows {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Markdown renders the table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(append([]string{""}, t.Columns...), " | ") + " |\n")
+	b.WriteString(strings.Repeat("|---", len(t.Columns)+1) + "|\n")
+	for _, r := range t.Rows {
+		cells := make([]string, 0, len(r.Values)+1)
+		cells = append(cells, r.Label)
+		for _, v := range r.Values {
+			cells = append(cells, fmt.Sprintf("%.3f", v))
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment reproduces one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes what the paper reports, for EXPERIMENTS.md.
+	Paper string
+	Run   func(s *Session) (*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// --- Session: memoized, parallel simulation runner -----------------------
+
+// RunSpec identifies one simulation for memoization.
+type RunSpec struct {
+	Workloads []string // one per core
+	Cores     int      // defaults to len(Workloads)
+
+	// Prefetcher names per level ("" = none). ConfigKey + New allow
+	// custom-configured prefetchers; ConfigKey must uniquely describe
+	// the configuration for caching.
+	L1D, L2, LLC string
+	L1DNew       func() prefetch.Prefetcher
+	ConfigKey    string
+
+	// System knobs (zero values = PaperConfig defaults).
+	LLCRepl        string
+	DRAMGBps       float64
+	L1PQ           int
+	L1MSHR         int
+	L1DWays        int // 8 → 32KB L1D
+	L2Sets         int
+	LLCSetsPerCore int
+
+	Seed int64
+}
+
+func (r RunSpec) key() string {
+	return fmt.Sprintf("%v|%d|%s|%s|%s|%s|%s|%.1f|%d|%d|%d|%d|%d|%d",
+		r.Workloads, r.Cores, r.L1D, r.L2, r.LLC, r.ConfigKey,
+		r.LLCRepl, r.DRAMGBps, r.L1PQ, r.L1MSHR, r.L1DWays, r.L2Sets,
+		r.LLCSetsPerCore, r.Seed)
+}
+
+// Session memoizes simulation results for one Scale.
+type Session struct {
+	Scale Scale
+
+	mu    sync.Mutex
+	cache map[string]*sim.Result
+	sem   chan struct{}
+}
+
+// NewSession returns a Session running at the given scale.
+func NewSession(s Scale) *Session {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	return &Session{
+		Scale: s,
+		cache: make(map[string]*sim.Result),
+		sem:   make(chan struct{}, n),
+	}
+}
+
+// Run executes (or recalls) one simulation.
+func (s *Session) Run(spec RunSpec) (*sim.Result, error) {
+	k := spec.key()
+	s.mu.Lock()
+	if r, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	res, err := s.execute(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[k] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// RunAll executes the specs concurrently and returns results in order.
+func (s *Session) RunAll(specs []RunSpec) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+			results[i], errs[i] = s.Run(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func (s *Session) execute(spec RunSpec) (*sim.Result, error) {
+	cores := spec.Cores
+	if cores == 0 {
+		cores = len(spec.Workloads)
+	}
+	cfg := sim.PaperConfig(cores)
+	if spec.LLCRepl != "" {
+		cfg.LLC.Repl = spec.LLCRepl
+	}
+	if spec.DRAMGBps > 0 {
+		cfg.DRAM = cfg.DRAM.WithBandwidthGBps(spec.DRAMGBps / float64(cfg.DRAM.Channels))
+	}
+	if spec.L1PQ > 0 {
+		cfg.L1D.PQSize = spec.L1PQ
+	}
+	if spec.L1MSHR > 0 {
+		cfg.L1D.MSHRs = spec.L1MSHR
+	}
+	if spec.L1DWays > 0 {
+		cfg.L1D.Ways = spec.L1DWays
+	}
+	if spec.L2Sets > 0 {
+		cfg.L2.Sets = spec.L2Sets
+	}
+	if spec.LLCSetsPerCore > 0 {
+		cfg.LLC.Sets = spec.LLCSetsPerCore * cores
+	}
+	if spec.L1DNew != nil {
+		cfg.L1DPrefetcher = sim.PrefetcherSpec{New: spec.L1DNew}
+	} else {
+		cfg.L1DPrefetcher = sim.PrefetcherSpec{Name: spec.L1D}
+	}
+	cfg.L2Prefetcher = sim.PrefetcherSpec{Name: spec.L2}
+	cfg.LLCPrefetcher = sim.PrefetcherSpec{Name: spec.LLC}
+
+	seed := spec.Seed
+	if seed == 0 {
+		seed = s.Scale.Seed
+	}
+	cfg.Seed = seed
+
+	streams := make([]trace.Stream, 0, len(spec.Workloads))
+	for _, name := range spec.Workloads {
+		w, err := workload.Named(name)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, w.New(seed))
+	}
+	sys, err := sim.Build(cfg, streams)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run(s.Scale.Warmup, s.Scale.Measure)
+}
+
+// capSpread caps a sorted name list by taking evenly spaced entries,
+// so a capped subset keeps the suite's diversity (alphabetical
+// truncation would drop whole benchmarks — e.g. every irregular
+// trace).
+func capSpread(names []string, cap int) []string {
+	if cap <= 0 || len(names) <= cap {
+		return names
+	}
+	out := make([]string, 0, cap)
+	for i := 0; i < cap; i++ {
+		out = append(out, names[i*len(names)/cap])
+	}
+	return out
+}
+
+// memIntensive returns the (possibly capped) memory-intensive list.
+func (s *Session) memIntensive() []string {
+	return capSpread(workload.Names(workload.MemoryIntensive()), s.Scale.MaxTraces)
+}
+
+// fullSuite returns the whole SPEC-like list (possibly capped,
+// preserving the memory-intensive / compute mix).
+func (s *Session) fullSuite() []string {
+	names := workload.Names(workload.Suite("spec"))
+	if s.Scale.MaxTraces > 0 {
+		return capSpread(names, s.Scale.MaxTraces*3/2)
+	}
+	return names
+}

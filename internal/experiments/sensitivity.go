@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ipcp/internal/stats"
+)
+
+// sensGeomean runs IPCP (and the baseline) with the spec mutations
+// applied to both, returning the geomean speedup.
+func sensGeomean(s *Session, names []string, key string, mutate func(*RunSpec)) (float64, error) {
+	specs := make([]RunSpec, 0, 2*len(names))
+	for _, n := range names {
+		base := RunSpec{Workloads: []string{n}, ConfigKey: key + "-base"}
+		pf := RunSpec{Workloads: []string{n}, L1D: "ipcp", L2: "ipcp", ConfigKey: key}
+		mutate(&base)
+		mutate(&pf)
+		specs = append(specs, base, pf)
+	}
+	results, err := s.RunAll(specs)
+	if err != nil {
+		return 0, err
+	}
+	sp := make([]float64, len(names))
+	for i := range names {
+		sp[i] = stats.Speedup(results[2*i+1].IPC[0], results[2*i].IPC[0])
+	}
+	return stats.Geomean(sp), nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "sens-repl",
+		Title: "LLC replacement policy sensitivity (§VI-C)",
+		Paper: "IPCP is resilient to the LLC policy (differences < 1%).",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "sens-repl", Title: "IPCP geomean speedup per LLC replacement policy (512KB/core LLC)",
+				Columns: []string{"speedup"}}
+			for _, pol := range []string{"lru", "srrip", "drrip", "ship", "hawkeye", "mpppb"} {
+				pol := pol
+				// A small LLC so replacement is actually exercised at
+				// sub-million-instruction scales (the paper's 2MB LLC
+				// does not fill within a short run).
+				g, err := sensGeomean(s, s.memIntensive(), "repl-"+pol, func(r *RunSpec) {
+					r.LLCRepl = pol
+					r.LLCSetsPerCore = 512
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(pol, g)
+			}
+			t.Notes = append(t.Notes, "Paper §VI-C: < 1% spread across policies; MPPPB costs every prefetcher a few percent.")
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "sens-cache",
+		Title: "Cache size sensitivity (§VI-C)",
+		Paper: "IPCP is resilient across L1/L2/LLC sizes (≤ ~1% difference; " +
+			"~3% absolute drop with an extremely small LLC, for every prefetcher).",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "sens-cache", Title: "IPCP geomean speedup per cache configuration",
+				Columns: []string{"speedup"}}
+			configs := []struct {
+				label string
+				mut   func(*RunSpec)
+			}{
+				{"L1D 48KB, L2 512KB, LLC 2MB (paper)", func(r *RunSpec) {}},
+				{"L1D 32KB", func(r *RunSpec) { r.L1DWays = 8 }},
+				{"L2 256KB", func(r *RunSpec) { r.L2Sets = 512 }},
+				{"L2 1MB", func(r *RunSpec) { r.L2Sets = 2048 }},
+				{"LLC 1MB/core", func(r *RunSpec) { r.LLCSetsPerCore = 1024 }},
+				{"LLC 4MB/core", func(r *RunSpec) { r.LLCSetsPerCore = 4096 }},
+				{"LLC 512KB/core (tiny)", func(r *RunSpec) { r.LLCSetsPerCore = 512 }},
+			}
+			for i, c := range configs {
+				g, err := sensGeomean(s, s.memIntensive(), fmt.Sprintf("cache-%d", i), c.mut)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(c.label, g)
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "sens-dram",
+		Title: "DRAM bandwidth sensitivity (§VI-C)",
+		Paper: "IPCP beats the second best by ~1% at 3.2GB/s and ~1.5% at " +
+			"25GB/s; absolute speedups grow with bandwidth.",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "sens-dram", Title: "Geomean speedup per DRAM bandwidth",
+				Columns: []string{"IPCP", "MLOP"}}
+			names := s.memIntensive()
+			for _, bw := range []float64{3.2, 12.8, 25.6} {
+				bw := bw
+				ipcpG, err := sensGeomean(s, names, fmt.Sprintf("dram-%.1f", bw), func(r *RunSpec) { r.DRAMGBps = bw })
+				if err != nil {
+					return nil, err
+				}
+				// MLOP comparison at the same bandwidth.
+				specs := make([]RunSpec, 0, 2*len(names))
+				for _, n := range names {
+					specs = append(specs,
+						RunSpec{Workloads: []string{n}, DRAMGBps: bw, ConfigKey: "dram-base"},
+						RunSpec{Workloads: []string{n}, L1D: "mlop", L2: "nl", LLC: "nl-miss",
+							DRAMGBps: bw, ConfigKey: "dram-mlop"})
+				}
+				results, err := s.RunAll(specs)
+				if err != nil {
+					return nil, err
+				}
+				sp := make([]float64, len(names))
+				for i := range names {
+					sp[i] = stats.Speedup(results[2*i+1].IPC[0], results[2*i].IPC[0])
+				}
+				t.AddRow(fmt.Sprintf("%.1f GB/s", bw), ipcpG, stats.Geomean(sp))
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "sens-pq",
+		Title: "L1 PQ/MSHR sensitivity (§VI-C)",
+		Paper: "(2,4) loses only ~2.7% vs the (8,16) baseline; high-MLP traces " +
+			"are affected most.",
+		Run: func(s *Session) (*Table, error) {
+			t := &Table{ID: "sens-pq", Title: "IPCP geomean speedup per (PQ, MSHR) pair",
+				Columns: []string{"speedup"}}
+			for _, pair := range [][2]int{{2, 4}, {4, 8}, {8, 16}, {16, 32}} {
+				pair := pair
+				g, err := sensGeomean(s, s.memIntensive(), fmt.Sprintf("pq-%d-%d", pair[0], pair[1]),
+					func(r *RunSpec) { r.L1PQ, r.L1MSHR = pair[0], pair[1] })
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(fmt.Sprintf("PQ=%d MSHR=%d", pair[0], pair[1]), g)
+			}
+			return t, nil
+		},
+	})
+}

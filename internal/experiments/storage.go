@@ -1,0 +1,8 @@
+package experiments
+
+import "ipcp/internal/core"
+
+// storageBudget computes Table I from the default configurations.
+func storageBudget() core.Storage {
+	return core.ComputeStorage(core.DefaultL1Config(), core.DefaultL2Config())
+}

@@ -1,0 +1,172 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAlign(t *testing.T) {
+	cases := []struct{ in, want Addr }{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{0xdeadbeef, 0xdeadbeef &^ 63},
+	}
+	for _, c := range cases {
+		if got := BlockAlign(c.in); got != c.want {
+			t.Errorf("BlockAlign(%#x) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPageGeometry(t *testing.T) {
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+	if PageOffsetLine(0) != 0 {
+		t.Errorf("PageOffsetLine(0) = %d", PageOffsetLine(0))
+	}
+	if PageOffsetLine(4095) != 63 {
+		t.Errorf("PageOffsetLine(4095) = %d, want 63", PageOffsetLine(4095))
+	}
+	if PageOffsetLine(4096) != 0 {
+		t.Errorf("PageOffsetLine(4096) = %d, want 0", PageOffsetLine(4096))
+	}
+	if !SamePage(4096, 8191) {
+		t.Error("SamePage(4096, 8191) = false, want true")
+	}
+	if SamePage(4095, 4096) {
+		t.Error("SamePage(4095, 4096) = true, want false")
+	}
+}
+
+func TestAccessTypeIsDemand(t *testing.T) {
+	demand := map[AccessType]bool{
+		Load: true, RFO: true, CodeRead: true,
+		Prefetch: false, Writeback: false,
+	}
+	for typ, want := range demand {
+		if got := typ.IsDemand(); got != want {
+			t.Errorf("%v.IsDemand() = %v, want %v", typ, got, want)
+		}
+	}
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	cases := []Metadata{
+		{ClassNone, 0},
+		{ClassCS, 1},
+		{ClassCS, -1},
+		{ClassCS, 63},
+		{ClassCS, -64},
+		{ClassGS, 1},
+		{ClassGS, -1},
+		{ClassNL, 0},
+	}
+	for _, m := range cases {
+		got := DecodeMetadata(m.Encode())
+		if got != m {
+			t.Errorf("round trip %+v -> %#x -> %+v", m, m.Encode(), got)
+		}
+	}
+}
+
+func TestMetadataEncodeWidth(t *testing.T) {
+	// The wire format must fit in 9 bits, per the paper.
+	f := func(cls uint8, stride int8) bool {
+		m := Metadata{Class: PrefetchClass(cls%4) + 0, Stride: stride}
+		if m.Stride < -64 || m.Stride > 63 {
+			return true // outside the representable 7-bit range
+		}
+		return m.Encode() < 1<<9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetadataRoundTripProperty(t *testing.T) {
+	f := func(clsRaw uint8, stride int8) bool {
+		var cls PrefetchClass
+		switch clsRaw % 4 {
+		case 0:
+			cls = ClassNone
+		case 1:
+			cls = ClassCS
+		case 2:
+			cls = ClassGS
+		case 3:
+			cls = ClassNL
+		}
+		if stride < -64 || stride > 63 {
+			return true
+		}
+		m := Metadata{Class: cls, Stride: stride}
+		if cls == ClassNone {
+			// ClassNone does not preserve the stride on the wire;
+			// only the class must survive.
+			return DecodeMetadata(m.Encode()).Class == ClassNone ||
+				DecodeMetadata(m.Encode()).Stride == stride
+		}
+		return DecodeMetadata(m.Encode()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{
+		LevelL1D: "L1D", LevelL2: "L2", LevelLLC: "LLC", LevelDRAM: "DRAM",
+	} {
+		if l.String() != want {
+			t.Errorf("Level %d String = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[PrefetchClass]string{
+		ClassCS: "CS", ClassCPLX: "CPLX", ClassGS: "GS", ClassNL: "NL", ClassNone: "none",
+	} {
+		if c.String() != want {
+			t.Errorf("class String = %q, want %q", c.String(), want)
+		}
+	}
+}
+
+func TestRequestHelpers(t *testing.T) {
+	r := &Request{Addr: 0x12345, Type: Prefetch}
+	if !r.IsPrefetch() {
+		t.Error("IsPrefetch false for prefetch")
+	}
+	if r.Block() != 0x12340 {
+		t.Errorf("Block = %#x", r.Block())
+	}
+	d := &Request{Type: Load}
+	if d.IsPrefetch() {
+		t.Error("IsPrefetch true for load")
+	}
+}
+
+func TestBlockNumberRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		return BlockNumber(a)<<BlockBits == BlockAlign(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessTypeStrings(t *testing.T) {
+	for typ, want := range map[AccessType]string{
+		Load: "load", RFO: "rfo", Prefetch: "prefetch",
+		Writeback: "writeback", CodeRead: "code",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}

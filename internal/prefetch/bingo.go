@@ -1,0 +1,220 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// Bingo is the spatial footprint prefetcher of Bakhshalipour et al.
+// [HPCA 2019]: per-region footprints are recorded while a region is
+// active and stored in one history table under a long event
+// (PC+Address); lookups fall back from the long event to the short
+// event (PC+Offset) within the same hashed set, fusing SMS's multiple
+// tables into one. On the first access to a region the predicted
+// footprint is prefetched wholesale.
+type Bingo struct {
+	regionBits int // log2 region size in bytes
+
+	at      []bingoAT
+	pht     []bingoPHT
+	phtSets int
+	phtWays int
+	clock   uint64
+
+	// pending holds footprint candidates that did not fit the prefetch
+	// queue at trigger time; real hardware streams a 32-line footprint
+	// out over many cycles rather than dropping it.
+	pending []Candidate
+}
+
+type bingoAT struct {
+	region uint64
+	pc     uint64
+	offset int
+	bits   uint64
+	lru    uint64
+	valid  bool
+}
+
+type bingoPHT struct {
+	longTag uint64 // hash of PC+Address
+	short   uint64 // hash of PC+Offset
+	bits    uint64
+	lru     uint64
+	valid   bool
+}
+
+const bingoATSize = 64
+
+// NewBingo returns a Bingo with the given history capacity in entries.
+// ~2K entries ≈ the paper's 48KB-tuned variant; 6K ≈ the original
+// 119KB configuration.
+func NewBingo(histEntries int) *Bingo {
+	ways := 8
+	sets := histEntries / ways
+	if sets <= 0 {
+		sets = 1
+	}
+	// Round sets to a power of two.
+	s := 1
+	for s < sets {
+		s <<= 1
+	}
+	return &Bingo{
+		regionBits: 11, // 2KB regions
+		at:         make([]bingoAT, bingoATSize),
+		pht:        make([]bingoPHT, s*ways),
+		phtSets:    s,
+		phtWays:    ways,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *Bingo) Name() string { return "bingo" }
+
+func (p *Bingo) regionOf(addr memsys.Addr) (region uint64, line int) {
+	region = uint64(addr) >> p.regionBits
+	line = int(addr>>memsys.BlockBits) & (1<<(p.regionBits-memsys.BlockBits) - 1)
+	return
+}
+
+func (p *Bingo) linesPerRegion() int { return 1 << (p.regionBits - memsys.BlockBits) }
+
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// Operate implements Prefetcher.
+func (p *Bingo) Operate(now int64, a *Access, iss Issuer) {
+	// Drain queued footprint candidates first (a few per access).
+	for n := 0; n < 4 && len(p.pending) > 0; n++ {
+		if !iss.Issue(p.pending[0]) {
+			break
+		}
+		p.pending = p.pending[1:]
+	}
+	if len(p.pending) == 0 {
+		p.pending = nil
+	}
+	if !a.Type.IsDemand() {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	region, line := p.regionOf(addr)
+	p.clock++
+
+	// Active region: accumulate the footprint.
+	for i := range p.at {
+		e := &p.at[i]
+		if e.valid && e.region == region {
+			e.bits |= 1 << uint(line)
+			e.lru = p.clock
+			return
+		}
+	}
+
+	// Trigger access: evict an AT entry (learning its footprint),
+	// allocate the new region, and predict.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range p.at {
+		if !p.at[i].valid {
+			victim, oldest = i, 0
+			break
+		}
+		if p.at[i].lru < oldest {
+			victim, oldest = i, p.at[i].lru
+		}
+	}
+	if v := &p.at[victim]; v.valid {
+		p.store(v)
+	}
+	p.at[victim] = bingoAT{
+		region: region, pc: a.IP, offset: line,
+		bits: 1 << uint(line), lru: p.clock, valid: true,
+	}
+
+	// Predict the footprint for the new region.
+	long := hash64(a.IP<<12 ^ uint64(addr)>>memsys.BlockBits)
+	short := hash64(a.IP<<6 ^ uint64(line))
+	bits, ok := p.find(long, short)
+	if !ok {
+		return
+	}
+	base := memsys.Addr(region) << p.regionBits
+	for l := 0; l < p.linesPerRegion(); l++ {
+		if l == line || bits&(1<<uint(l)) == 0 {
+			continue
+		}
+		cand := Candidate{Addr: base + memsys.Addr(l)*memsys.BlockSize, IP: a.IP}
+		if !iss.Issue(cand) && len(p.pending) < 256 {
+			p.pending = append(p.pending, cand)
+		}
+	}
+}
+
+// store records a finished region's footprint under its trigger events.
+func (p *Bingo) store(e *bingoAT) {
+	trigAddr := memsys.Addr(e.region)<<p.regionBits + memsys.Addr(e.offset)*memsys.BlockSize
+	long := hash64(e.pc<<12 ^ uint64(trigAddr)>>memsys.BlockBits)
+	short := hash64(e.pc<<6 ^ uint64(e.offset))
+	set := int(short % uint64(p.phtSets))
+	base := set * p.phtWays
+	// Reuse a matching long entry, else the LRU way.
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for i := base; i < base+p.phtWays; i++ {
+		w := &p.pht[i]
+		if w.valid && w.longTag == long {
+			victim = i
+			break
+		}
+		if !w.valid {
+			victim, oldest = i, 0
+		} else if w.lru < oldest {
+			victim, oldest = i, w.lru
+		}
+	}
+	p.clock++
+	p.pht[victim] = bingoPHT{longTag: long, short: short, bits: e.bits, lru: p.clock, valid: true}
+}
+
+// find looks up a footprint: long event first, falling back to the
+// most recent short-event match.
+func (p *Bingo) find(long, short uint64) (uint64, bool) {
+	set := int(short % uint64(p.phtSets))
+	base := set * p.phtWays
+	var bestShort *bingoPHT
+	for i := base; i < base+p.phtWays; i++ {
+		w := &p.pht[i]
+		if !w.valid {
+			continue
+		}
+		if w.longTag == long {
+			w.lru = p.clock
+			return w.bits, true
+		}
+		if w.short == short && (bestShort == nil || w.lru > bestShort.lru) {
+			bestShort = w
+		}
+	}
+	if bestShort != nil {
+		bestShort.lru = p.clock
+		return bestShort.bits, true
+	}
+	return 0, false
+}
+
+// Fill implements Prefetcher.
+func (p *Bingo) Fill(int64, *FillEvent) {}
+
+// Cycle implements Prefetcher.
+func (p *Bingo) Cycle(int64) {}
+
+func init() {
+	Register("bingo", func(Level) Prefetcher { return NewBingo(2048) })
+	Register("bingo119", func(Level) Prefetcher { return NewBingo(6144) })
+}

@@ -1,0 +1,127 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// BOP is the Best-Offset Prefetcher [Michaud, HPCA 2016]: it scores a
+// fixed list of candidate offsets against a recent-request table and
+// prefetches with the winning offset until a new round elects a better
+// one.
+type BOP struct {
+	offsets []int64
+	scores  []int
+	testIdx int
+	round   int
+	best    int64
+	bestOK  bool
+
+	rr     []uint64 // recent base block numbers
+	rrMask uint64
+}
+
+// bopOffsets is the candidate list (a compact version of Michaud's
+// 52-entry list; offsets with small prime factorizations).
+var bopOffsets = []int64{1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 30, 32,
+	-1, -2, -3, -4, -6, -8}
+
+const (
+	bopScoreMax = 31
+	bopRoundMax = 100
+	bopBadScore = 3
+)
+
+// NewBOP returns a best-offset prefetcher with a 256-entry RR table.
+func NewBOP() *BOP {
+	return &BOP{
+		offsets: bopOffsets,
+		scores:  make([]int, len(bopOffsets)),
+		best:    1,
+		bestOK:  true,
+		rr:      make([]uint64, 256),
+		rrMask:  255,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *BOP) Name() string { return "bop" }
+
+func (p *BOP) rrInsert(block uint64) {
+	p.rr[block&p.rrMask] = block
+}
+
+func (p *BOP) rrHit(block uint64) bool {
+	return p.rr[block&p.rrMask] == block
+}
+
+// Operate implements Prefetcher.
+func (p *BOP) Operate(now int64, a *Access, iss Issuer) {
+	if !a.Type.IsDemand() {
+		return
+	}
+	// BOP triggers on misses and on hits to prefetched lines.
+	if a.Hit && !a.HitPrefetched {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	block := memsys.BlockNumber(addr)
+
+	// Learning: test the next offset in round-robin order.
+	o := p.offsets[p.testIdx]
+	if p.rrHit(uint64(int64(block) - o)) {
+		p.scores[p.testIdx]++
+	}
+	p.testIdx++
+	if p.testIdx == len(p.offsets) {
+		p.testIdx = 0
+		p.round++
+	}
+	// End of learning phase: elect the best offset.
+	maxScore, maxIdx := 0, 0
+	for i, s := range p.scores {
+		if s > maxScore {
+			maxScore, maxIdx = s, i
+		}
+	}
+	if maxScore >= bopScoreMax || p.round >= bopRoundMax {
+		p.best = p.offsets[maxIdx]
+		p.bestOK = maxScore >= bopBadScore
+		for i := range p.scores {
+			p.scores[i] = 0
+		}
+		p.round = 0
+	}
+
+	if p.bestOK {
+		cand := memsys.Addr(int64(block)+p.best) << memsys.BlockBits
+		if memsys.SamePage(addr, cand) {
+			iss.Issue(Candidate{Addr: cand, Class: memsys.ClassNone})
+		}
+	}
+}
+
+// Fill implements Prefetcher: completed fills feed the RR table. As in
+// Michaud's design, a prefetched fill of X inserts the base address
+// X − D (the trigger a perfect offset would have fired from); a demand
+// fill inserts X itself.
+func (p *BOP) Fill(now int64, f *FillEvent) {
+	addr := f.Addr
+	if f.VAddr != 0 {
+		addr = f.VAddr
+	}
+	base := int64(memsys.BlockNumber(addr))
+	if f.Prefetch {
+		base -= p.best
+	}
+	if base >= 0 && memsys.SamePage(addr, memsys.Addr(base)<<memsys.BlockBits) {
+		p.rrInsert(uint64(base))
+	}
+}
+
+// Cycle implements Prefetcher.
+func (p *BOP) Cycle(int64) {}
+
+func init() {
+	Register("bop", func(Level) Prefetcher { return NewBOP() })
+}

@@ -1,0 +1,52 @@
+package prefetch
+
+import "strings"
+
+// Composite runs several prefetchers side by side at one cache level,
+// fanning every hook out to each child. The paper's best L2
+// combination, SPP+Perceptron+DSPatch, is a composite of the filtered
+// SPP and the adjunct DSPatch.
+type Composite struct {
+	children []Prefetcher
+}
+
+// NewComposite combines the given prefetchers.
+func NewComposite(children ...Prefetcher) *Composite {
+	return &Composite{children: children}
+}
+
+// Name implements Prefetcher.
+func (c *Composite) Name() string {
+	names := make([]string, len(c.children))
+	for i, ch := range c.children {
+		names[i] = ch.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Operate implements Prefetcher.
+func (c *Composite) Operate(now int64, a *Access, iss Issuer) {
+	for _, ch := range c.children {
+		ch.Operate(now, a, iss)
+	}
+}
+
+// Fill implements Prefetcher.
+func (c *Composite) Fill(now int64, f *FillEvent) {
+	for _, ch := range c.children {
+		ch.Fill(now, f)
+	}
+}
+
+// Cycle implements Prefetcher.
+func (c *Composite) Cycle(now int64) {
+	for _, ch := range c.children {
+		ch.Cycle(now)
+	}
+}
+
+func init() {
+	Register("spp-ppf-dspatch", func(Level) Prefetcher {
+		return NewComposite(NewPPF(NewSPP()), NewDSPatch())
+	})
+}

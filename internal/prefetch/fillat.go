@@ -1,0 +1,35 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// FillAt wraps a prefetcher and forces every candidate to fill at the
+// given level instead of the issuing cache. The paper's Figure 1 uses
+// this to study "learn at L1 but fill only to L2" placements.
+type FillAt struct {
+	Inner Prefetcher
+	Level memsys.Level
+}
+
+// Name implements Prefetcher.
+func (f FillAt) Name() string { return f.Inner.Name() + "@" + f.Level.String() }
+
+type fillAtIssuer struct {
+	iss   Issuer
+	level memsys.Level
+}
+
+func (fi fillAtIssuer) Issue(c Candidate) bool {
+	c.FillLevel = fi.level
+	return fi.iss.Issue(c)
+}
+
+// Operate implements Prefetcher.
+func (f FillAt) Operate(now int64, a *Access, iss Issuer) {
+	f.Inner.Operate(now, a, fillAtIssuer{iss, f.Level})
+}
+
+// Fill implements Prefetcher.
+func (f FillAt) Fill(now int64, e *FillEvent) { f.Inner.Fill(now, e) }
+
+// Cycle implements Prefetcher.
+func (f FillAt) Cycle(now int64) { f.Inner.Cycle(now) }

@@ -1,0 +1,28 @@
+package prefetch
+
+import (
+	"testing"
+
+	"ipcp/internal/memsys"
+)
+
+func TestFillAtOverridesLevel(t *testing.T) {
+	inner := NewNextLine()
+	w := FillAt{Inner: inner, Level: memsys.LevelL2}
+	rec := &recorder{}
+	w.Operate(0, &Access{Addr: 0x5000, VAddr: 0x5000, IP: 1, Type: memsys.Load}, rec)
+	if len(rec.cands) == 0 {
+		t.Fatal("wrapped prefetcher issued nothing")
+	}
+	for _, c := range rec.cands {
+		if c.FillLevel != memsys.LevelL2 {
+			t.Errorf("FillLevel = %v, want L2", c.FillLevel)
+		}
+	}
+	if w.Name() != "nl@L2" {
+		t.Errorf("Name = %q", w.Name())
+	}
+	// The other hooks pass through without panicking.
+	w.Fill(0, &FillEvent{Addr: 0x5000})
+	w.Cycle(1)
+}

@@ -1,0 +1,96 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// IPStride is the classic per-IP constant-stride prefetcher [Fu et al.,
+// MICRO 1992]: a 64-entry direct-mapped table tracks the last block
+// touched by each IP and a 2-bit confidence counter; once confident,
+// it prefetches Degree blocks ahead along the learned stride.
+type IPStride struct {
+	Degree  int
+	entries []ipStrideEntry
+	mask    uint64
+}
+
+type ipStrideEntry struct {
+	tag       uint64
+	lastBlock uint64
+	stride    int64
+	conf      uint8
+	valid     bool
+}
+
+// NewIPStride returns the standard 64-entry, degree-3 configuration.
+func NewIPStride() *IPStride { return NewIPStrideSized(64, 3) }
+
+// NewIPStrideSized returns an IP-stride prefetcher with the given table
+// size (power of two) and degree.
+func NewIPStrideSized(entries, degree int) *IPStride {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("prefetch: IP-stride table size must be a power of two")
+	}
+	return &IPStride{
+		Degree:  degree,
+		entries: make([]ipStrideEntry, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *IPStride) Name() string { return "ipstride" }
+
+// Operate implements Prefetcher.
+func (p *IPStride) Operate(now int64, a *Access, iss Issuer) {
+	if !a.Type.IsDemand() || a.IP == 0 {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	block := memsys.BlockNumber(addr)
+	idx := (a.IP >> 2) & p.mask
+	tag := (a.IP >> 2) >> 6
+	e := &p.entries[idx]
+	if !e.valid || e.tag != tag {
+		*e = ipStrideEntry{tag: tag, lastBlock: block, valid: true}
+		return
+	}
+	stride := int64(block) - int64(e.lastBlock)
+	if stride == 0 {
+		return // same block; no training signal
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		}
+		if e.conf == 0 {
+			e.stride = stride
+		}
+	}
+	e.lastBlock = block
+	if e.conf < 2 || e.stride == 0 {
+		return
+	}
+	for k := 1; k <= p.Degree; k++ {
+		cand := memsys.Addr(int64(block)+int64(k)*e.stride) << memsys.BlockBits
+		if !memsys.SamePage(addr, cand) {
+			return
+		}
+		iss.Issue(Candidate{Addr: cand, Class: memsys.ClassCS})
+	}
+}
+
+// Fill implements Prefetcher.
+func (p *IPStride) Fill(int64, *FillEvent) {}
+
+// Cycle implements Prefetcher.
+func (p *IPStride) Cycle(int64) {}
+
+func init() {
+	Register("ipstride", func(Level) Prefetcher { return NewIPStride() })
+}

@@ -1,0 +1,160 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// MLOP is a multi-lookahead offset prefetcher in the spirit of
+// Shakerinava et al.'s DPC-3 winner: per-page access maps score a range
+// of offsets each epoch, and the top offsets (one per lookahead level)
+// form the prefetch set applied to every trigger access.
+type MLOP struct {
+	// Levels is the number of lookahead levels = offsets selected.
+	Levels int
+
+	maps    []accessMap
+	clock   uint64
+	scores  map[int64]int
+	epoch   int
+	current []int64 // elected offsets
+}
+
+type accessMap struct {
+	page  uint64
+	bits  uint64
+	lru   uint64
+	valid bool
+}
+
+const (
+	mlopMaxOffset = 16
+	mlopEpochLen  = 256
+	mlopMapCount  = 64
+)
+
+// NewMLOP returns the default 3-level configuration.
+func NewMLOP() *MLOP {
+	return &MLOP{
+		Levels:  3,
+		maps:    make([]accessMap, mlopMapCount),
+		scores:  make(map[int64]int),
+		current: []int64{1}, // optimistic next-line start
+	}
+}
+
+// Name implements Prefetcher.
+func (p *MLOP) Name() string { return "mlop" }
+
+// Operate implements Prefetcher.
+func (p *MLOP) Operate(now int64, a *Access, iss Issuer) {
+	if !a.Type.IsDemand() {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	page := memsys.PageNumber(addr)
+	line := memsys.PageOffsetLine(addr)
+	p.clock++
+
+	m := p.findMap(page)
+	// Score every candidate offset whose source line is already set in
+	// this page's map (i.e. offset o would have predicted this
+	// access).
+	for o := int64(-mlopMaxOffset); o <= mlopMaxOffset; o++ {
+		if o == 0 {
+			continue
+		}
+		src := int64(line) - o
+		if src < 0 || src >= memsys.LinesPerPage {
+			continue
+		}
+		if m.bits&(1<<uint(src)) != 0 {
+			p.scores[o]++
+		}
+	}
+	m.bits |= 1 << uint(line)
+	m.lru = p.clock
+
+	p.epoch++
+	if p.epoch >= mlopEpochLen {
+		p.elect()
+	}
+
+	for _, o := range p.current {
+		cand := memsys.Addr(int64(memsys.BlockNumber(addr))+o) << memsys.BlockBits
+		if memsys.SamePage(addr, cand) {
+			iss.Issue(Candidate{Addr: cand, Class: memsys.ClassNone})
+		}
+	}
+}
+
+// elect picks the top-scoring offsets, one per lookahead level.
+func (p *MLOP) elect() {
+	p.epoch = 0
+	type kv struct {
+		o int64
+		s int
+	}
+	var best []kv
+	for o, s := range p.scores {
+		best = append(best, kv{o, s})
+	}
+	// Insertion sort by score desc, offset asc for determinism.
+	for i := 1; i < len(best); i++ {
+		for j := i; j > 0 && (best[j].s > best[j-1].s ||
+			best[j].s == best[j-1].s && best[j].o < best[j-1].o); j-- {
+			best[j], best[j-1] = best[j-1], best[j]
+		}
+	}
+	p.current = p.current[:0]
+	if len(best) == 0 {
+		p.current = append(p.current, 1)
+	}
+	threshold := 0
+	if len(best) > 0 {
+		threshold = best[0].s / 4
+	}
+	for i := 0; i < len(best) && len(p.current) < p.Levels; i++ {
+		if best[i].s <= threshold || best[i].s < 8 {
+			break
+		}
+		p.current = append(p.current, best[i].o)
+	}
+	if len(p.current) == 0 {
+		p.current = append(p.current, 1)
+	}
+	for o := range p.scores {
+		delete(p.scores, o)
+	}
+}
+
+func (p *MLOP) findMap(page uint64) *accessMap {
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range p.maps {
+		m := &p.maps[i]
+		if m.valid && m.page == page {
+			return m
+		}
+		if !m.valid {
+			victim, oldest = i, 0
+		} else if m.lru < oldest {
+			victim, oldest = i, m.lru
+		}
+	}
+	p.maps[victim] = accessMap{page: page, valid: true, lru: p.clock}
+	return &p.maps[victim]
+}
+
+// Offsets returns the currently elected offsets (testing).
+func (p *MLOP) Offsets() []int64 { return append([]int64(nil), p.current...) }
+
+// Fill implements Prefetcher.
+func (p *MLOP) Fill(int64, *FillEvent) {}
+
+// Cycle implements Prefetcher.
+func (p *MLOP) Cycle(int64) {}
+
+func init() {
+	Register("mlop", func(Level) Prefetcher { return NewMLOP() })
+}

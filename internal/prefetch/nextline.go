@@ -1,0 +1,62 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// NextLine is the classic next-line prefetcher: on an access to block
+// X, prefetch X+1..X+Degree (within the page). The paper's multi-level
+// combinations use NL variants at L2 and the LLC, and a miss-throttled
+// NL at L1 (DPC-3's "throttled NL").
+type NextLine struct {
+	// Degree is the number of consecutive lines prefetched.
+	Degree int
+	// OnMissOnly restricts triggering to demand misses (the throttled
+	// variant).
+	OnMissOnly bool
+}
+
+// NewNextLine returns a degree-1 next-line prefetcher.
+func NewNextLine() *NextLine { return &NextLine{Degree: 1} }
+
+// Name implements Prefetcher.
+func (p *NextLine) Name() string {
+	if p.OnMissOnly {
+		return "nl-miss"
+	}
+	return "nl"
+}
+
+// Operate implements Prefetcher.
+func (p *NextLine) Operate(now int64, a *Access, iss Issuer) {
+	if !a.Type.IsDemand() {
+		return
+	}
+	if p.OnMissOnly && a.Hit {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr // train on virtual addresses where available
+	}
+	deg := p.Degree
+	if deg <= 0 {
+		deg = 1
+	}
+	for k := 1; k <= deg; k++ {
+		cand := memsys.BlockAlign(addr) + memsys.Addr(k*memsys.BlockSize)
+		if !memsys.SamePage(addr, cand) {
+			return
+		}
+		iss.Issue(Candidate{Addr: cand, Class: memsys.ClassNL})
+	}
+}
+
+// Fill implements Prefetcher.
+func (p *NextLine) Fill(int64, *FillEvent) {}
+
+// Cycle implements Prefetcher.
+func (p *NextLine) Cycle(int64) {}
+
+func init() {
+	Register("nl", func(Level) Prefetcher { return NewNextLine() })
+	Register("nl-miss", func(Level) Prefetcher { return &NextLine{Degree: 1, OnMissOnly: true} })
+}

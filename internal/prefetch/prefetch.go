@@ -1,0 +1,151 @@
+// Package prefetch defines the hardware-prefetcher interface the cache
+// hierarchy exposes, plus the registry used by the CLIs and the
+// experiment harness to construct prefetchers by name.
+//
+// The hook model follows ChampSim's: a prefetcher attached to a cache
+// is invoked on every read access handled by that cache (demand loads,
+// RFOs, code reads, and prefetch requests arriving from the level
+// above — the latter carry the L1→L2 IPCP metadata), and on every
+// block fill. Prefetch candidates are issued through the Issuer the
+// cache passes with each access.
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+
+	"ipcp/internal/memsys"
+)
+
+// Candidate is one prefetch a prefetcher wants issued.
+type Candidate struct {
+	// Addr is a byte address in the cache's native address space:
+	// virtual at the L1-D (the paper's IPCP trains on virtual
+	// addresses), physical at the L2 and below.
+	Addr memsys.Addr
+	// IP is the triggering instruction pointer; it travels with the
+	// prefetch request so lower-level prefetchers can attribute the
+	// request (the paper: "the IP of the request is passed to the
+	// L2").
+	IP memsys.Addr
+	// FillLevel bounds how far up the block is installed. Zero means
+	// "this cache's own level".
+	FillLevel memsys.Level
+	// Class tags the candidate with its IPCP class (ClassNone for
+	// non-IPCP prefetchers).
+	Class memsys.PrefetchClass
+	// Meta is the encoded 9-bit L1→L2 metadata payload, if any.
+	Meta uint16
+}
+
+// Issuer accepts prefetch candidates. Issue reports whether the
+// candidate was accepted into the prefetch queue (false: queue full or
+// untranslatable address — the candidate is dropped, as real hardware
+// would).
+type Issuer interface {
+	Issue(c Candidate) bool
+}
+
+// Access describes one read access observed by a cache, passed to the
+// attached prefetcher's Operate hook.
+type Access struct {
+	// Addr is the physical byte address; VAddr the virtual one (zero
+	// below the L1 for prefetch-generated requests with no virtual
+	// origin).
+	Addr  memsys.Addr
+	VAddr memsys.Addr
+	// IP is the triggering instruction pointer (zero if unknown).
+	IP memsys.Addr
+	// Type is the access type (Load, RFO, CodeRead, or Prefetch for
+	// requests arriving from the level above).
+	Type memsys.AccessType
+	// Hit reports whether the access hit in this cache.
+	Hit bool
+	// Meta carries the IPCP metadata of an arriving prefetch request.
+	Meta uint16
+	// HitPrefetched reports that the access hit a line brought in by a
+	// prefetch that had not been demanded yet (a "useful prefetch"
+	// event — filters like PPF train on it).
+	HitPrefetched bool
+	// HitClass is the IPCP class of that prefetched line.
+	HitClass memsys.PrefetchClass
+}
+
+// FillEvent describes one block installation, passed to Fill.
+type FillEvent struct {
+	Addr     memsys.Addr // physical block address
+	VAddr    memsys.Addr // virtual block address if known
+	Set, Way int
+	Prefetch bool
+	Class    memsys.PrefetchClass
+	Evicted  memsys.Addr // physical address of the victim block, 0 if none
+	// EvictedUnusedPrefetch reports that the victim was a prefetched
+	// line never demanded — a "useless prefetch" training event.
+	EvictedUnusedPrefetch bool
+}
+
+// Prefetcher is the per-cache prefetching hook. Implementations must be
+// single-threaded; the simulator never calls them concurrently.
+type Prefetcher interface {
+	// Name identifies the prefetcher (for stats and CLI output).
+	Name() string
+	// Operate observes one access and may issue candidates via iss.
+	Operate(now int64, a *Access, iss Issuer)
+	// Fill observes one block installation.
+	Fill(now int64, f *FillEvent)
+	// Cycle is clocked once per simulated cycle (for epoch logic).
+	Cycle(now int64)
+}
+
+// Nil is a no-op prefetcher, used where a level has prefetching
+// disabled.
+type Nil struct{}
+
+func (Nil) Name() string                   { return "none" }
+func (Nil) Operate(int64, *Access, Issuer) {}
+func (Nil) Fill(int64, *FillEvent)         {}
+func (Nil) Cycle(int64)                    {}
+
+// --- Registry ---------------------------------------------------------
+
+// Level describes where a prefetcher is being constructed so factories
+// can size or parametrize themselves (e.g. IPCP differs at L1 vs L2).
+type Level = memsys.Level
+
+// Factory builds a prefetcher for the given cache level.
+type Factory func(level Level) Prefetcher
+
+var registry = map[string]Factory{}
+
+// Register adds a named prefetcher factory. It panics on duplicates so
+// wiring mistakes surface at init time.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("prefetch: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New constructs a registered prefetcher by name. The name "none" (or
+// empty) yields the no-op prefetcher.
+func New(name string, level Level) (Prefetcher, error) {
+	if name == "" || name == "none" {
+		return Nil{}, nil
+	}
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("prefetch: unknown prefetcher %q (known: %v)", name, Names())
+	}
+	return f(level), nil
+}
+
+// Names returns the sorted registered prefetcher names.
+func Names() []string {
+	names := make([]string, 0, len(registry)+1)
+	names = append(names, "none")
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,100 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// SMS is Spatial Memory Streaming [Somogyi et al., ISCA 2006]: region
+// footprints recorded in an active generation table and predicted from
+// a pattern history table keyed by (PC, trigger offset). It is the
+// predecessor Bingo improves on; included as a baseline and storage
+// comparison point.
+type SMS struct {
+	regionBits int
+	agt        []bingoAT // same shape as Bingo's accumulation entries
+	pht        map[uint64]uint64
+	phtCap     int
+	clock      uint64
+}
+
+// NewSMS returns an SMS with a 4K-entry pattern history table over 2KB
+// regions.
+func NewSMS() *SMS {
+	return &SMS{
+		regionBits: 11,
+		agt:        make([]bingoAT, 32),
+		pht:        make(map[uint64]uint64),
+		phtCap:     4096,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *SMS) Name() string { return "sms" }
+
+func (p *SMS) key(pc uint64, offset int) uint64 {
+	return hash64(pc<<6 ^ uint64(offset))
+}
+
+// Operate implements Prefetcher.
+func (p *SMS) Operate(now int64, a *Access, iss Issuer) {
+	if !a.Type.IsDemand() {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	region := uint64(addr) >> p.regionBits
+	line := int(addr>>memsys.BlockBits) & (1<<(p.regionBits-memsys.BlockBits) - 1)
+	p.clock++
+
+	for i := range p.agt {
+		e := &p.agt[i]
+		if e.valid && e.region == region {
+			e.bits |= 1 << uint(line)
+			e.lru = p.clock
+			return
+		}
+	}
+
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range p.agt {
+		if !p.agt[i].valid {
+			victim, oldest = i, 0
+			break
+		}
+		if p.agt[i].lru < oldest {
+			victim, oldest = i, p.agt[i].lru
+		}
+	}
+	if v := &p.agt[victim]; v.valid {
+		if len(p.pht) >= p.phtCap {
+			// Capacity model: clear rather than grow unboundedly.
+			p.pht = make(map[uint64]uint64)
+		}
+		p.pht[p.key(v.pc, v.offset)] = v.bits
+	}
+	p.agt[victim] = bingoAT{
+		region: region, pc: a.IP, offset: line,
+		bits: 1 << uint(line), lru: p.clock, valid: true,
+	}
+
+	if bits, ok := p.pht[p.key(a.IP, line)]; ok {
+		base := memsys.Addr(region) << p.regionBits
+		for l := 0; l < 1<<(p.regionBits-memsys.BlockBits); l++ {
+			if l == line || bits&(1<<uint(l)) == 0 {
+				continue
+			}
+			iss.Issue(Candidate{Addr: base + memsys.Addr(l)*memsys.BlockSize, Class: memsys.ClassNone})
+		}
+	}
+}
+
+// Fill implements Prefetcher.
+func (p *SMS) Fill(int64, *FillEvent) {}
+
+// Cycle implements Prefetcher.
+func (p *SMS) Cycle(int64) {}
+
+func init() {
+	Register("sms", func(Level) Prefetcher { return NewSMS() })
+}

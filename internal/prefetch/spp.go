@@ -1,0 +1,235 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// SPP is the Signature Path Prefetcher [Kim et al., MICRO 2016]: a
+// per-page signature of recent deltas indexes a pattern table; path
+// confidence (the product of per-delta probabilities along the
+// speculative signature path) controls lookahead depth. A small
+// global history register (GHR) carries the signature across page
+// boundaries so a stream entering a fresh page resumes its path
+// instead of retraining.
+type SPP struct {
+	st     []sppSTEntry
+	pt     []sppPTEntry
+	filter []uint64
+	ghr    [sppGHRSize]sppGHREntry
+
+	// Threshold is the path-confidence floor for issuing ([0,1]).
+	Threshold float64
+	// MaxDepth bounds the lookahead path length.
+	MaxDepth int
+}
+
+// sppGHREntry remembers a signature whose speculative path ran off the
+// end of a page, keyed by the offset it would enter the next page at.
+type sppGHREntry struct {
+	valid     bool
+	sig       uint16
+	lastDelta int
+	offset    int // predicted entry offset in the next page
+}
+
+const sppGHRSize = 8
+
+type sppSTEntry struct {
+	tag        uint64
+	lastOffset int
+	sig        uint16
+	valid      bool
+}
+
+type sppPTEntry struct {
+	deltas [4]int8
+	cDelta [4]uint8
+	cSig   uint8
+}
+
+const (
+	sppSTSize     = 256
+	sppPTSize     = 512
+	sppSigMask    = 0xfff
+	sppFilterSize = 256
+)
+
+// NewSPP returns the standard configuration (threshold 0.25, depth 8).
+func NewSPP() *SPP {
+	return &SPP{
+		st:        make([]sppSTEntry, sppSTSize),
+		pt:        make([]sppPTEntry, sppPTSize),
+		filter:    make([]uint64, sppFilterSize),
+		Threshold: 0.25,
+		MaxDepth:  8,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *SPP) Name() string { return "spp" }
+
+func sppSigHash(sig uint16) int { return int(sig) % sppPTSize }
+
+func sppAdvance(sig uint16, delta int) uint16 {
+	return (sig<<3 ^ uint16(delta)&0x3f) & sppSigMask
+}
+
+// Operate implements Prefetcher.
+func (p *SPP) Operate(now int64, a *Access, iss Issuer) {
+	if !a.Type.IsDemand() {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	page := memsys.PageNumber(addr)
+	offset := memsys.PageOffsetLine(addr)
+
+	e := &p.st[page%sppSTSize]
+	tag := page / sppSTSize
+	if !e.valid || e.tag != tag {
+		// Fresh page: bootstrap the signature from the GHR if a
+		// cross-page path predicted this entry offset, and resume the
+		// lookahead immediately.
+		sig := uint16(0)
+		hit := false
+		for i := range p.ghr {
+			g := &p.ghr[i]
+			if g.valid && g.offset == offset {
+				sig = sppAdvance(g.sig, g.lastDelta)
+				g.valid = false
+				hit = true
+				break
+			}
+		}
+		*e = sppSTEntry{tag: tag, lastOffset: offset, sig: sig, valid: true}
+		if hit {
+			p.lookahead(addr, offset, sig, iss)
+		}
+		return
+	}
+	delta := offset - e.lastOffset
+	if delta == 0 {
+		return
+	}
+
+	// Train PT[sig] with the observed delta.
+	pt := &p.pt[sppSigHash(e.sig)]
+	p.train(pt, delta)
+
+	// Advance the signature and remember state.
+	e.sig = sppAdvance(e.sig, delta)
+	e.lastOffset = offset
+
+	// Lookahead along the speculative path.
+	p.lookahead(addr, offset, e.sig, iss)
+}
+
+// lookahead walks the speculative signature path from offset, issuing
+// while the path confidence holds; a path running off the page parks
+// its state in the GHR.
+func (p *SPP) lookahead(addr memsys.Addr, offset int, sig uint16, iss Issuer) {
+	conf := 1.0
+	cur := offset
+	for depth := 0; depth < p.MaxDepth; depth++ {
+		pe := &p.pt[sppSigHash(sig)]
+		d, prob := bestDelta(pe)
+		if d == 0 {
+			return
+		}
+		conf *= prob
+		if conf < p.Threshold {
+			return
+		}
+		cur += d
+		if cur < 0 || cur >= memsys.LinesPerPage {
+			// The path runs off the page: park it in the GHR so the
+			// stream resumes when it enters the neighbouring page.
+			p.ghrInsert(sppGHREntry{
+				valid: true, sig: sig, lastDelta: d,
+				offset: (cur + memsys.LinesPerPage) % memsys.LinesPerPage,
+			})
+			return
+		}
+		cand := memsys.BlockAlign(addr)&^memsys.Addr(memsys.PageSize-1) +
+			memsys.Addr(cur)*memsys.BlockSize
+		if !p.filtered(cand) {
+			iss.Issue(Candidate{Addr: cand, Class: memsys.ClassNone})
+		}
+		sig = sppAdvance(sig, d)
+	}
+}
+
+// train bumps delta's counter in the PT entry, evicting the weakest
+// slot when full.
+func (p *SPP) train(e *sppPTEntry, delta int) {
+	if e.cSig >= 15 {
+		// Periodic aging keeps probabilities adaptive.
+		for i := range e.cDelta {
+			e.cDelta[i] >>= 1
+		}
+		e.cSig >>= 1
+	}
+	e.cSig++
+	weakest, weakVal := 0, uint8(255)
+	for i := range e.deltas {
+		if e.deltas[i] == int8(delta) {
+			if e.cDelta[i] < 15 {
+				e.cDelta[i]++
+			}
+			return
+		}
+		if e.cDelta[i] < weakVal {
+			weakest, weakVal = i, e.cDelta[i]
+		}
+	}
+	e.deltas[weakest] = int8(delta)
+	e.cDelta[weakest] = 1
+}
+
+// bestDelta returns the highest-probability delta of a PT entry.
+func bestDelta(e *sppPTEntry) (int, float64) {
+	if e.cSig == 0 {
+		return 0, 0
+	}
+	best, bestC := 0, uint8(0)
+	for i := range e.deltas {
+		if e.cDelta[i] > bestC && e.deltas[i] != 0 {
+			best, bestC = int(e.deltas[i]), e.cDelta[i]
+		}
+	}
+	return best, float64(bestC) / float64(e.cSig)
+}
+
+// ghrInsert records a cross-page path, replacing any entry with the
+// same entry offset (round-robin otherwise).
+func (p *SPP) ghrInsert(e sppGHREntry) {
+	for i := range p.ghr {
+		if !p.ghr[i].valid || p.ghr[i].offset == e.offset {
+			p.ghr[i] = e
+			return
+		}
+	}
+	p.ghr[int(e.sig)%len(p.ghr)] = e
+}
+
+// filtered tracks recently issued prefetch blocks to suppress
+// duplicates; it returns true when cand was already issued recently.
+func (p *SPP) filtered(cand memsys.Addr) bool {
+	b := memsys.BlockNumber(cand)
+	slot := &p.filter[b%sppFilterSize]
+	if *slot == b {
+		return true
+	}
+	*slot = b
+	return false
+}
+
+// Fill implements Prefetcher.
+func (p *SPP) Fill(int64, *FillEvent) {}
+
+// Cycle implements Prefetcher.
+func (p *SPP) Cycle(int64) {}
+
+func init() {
+	Register("spp", func(Level) Prefetcher { return NewSPP() })
+}

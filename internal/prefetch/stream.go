@@ -1,0 +1,100 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// Stream is a POWER4-style stream prefetcher [Tendler et al. 2002]: a
+// small table of detected sequential streams (ascending or
+// descending); each confirmed stream runs a prefetch window Depth
+// blocks ahead of the demand point.
+type Stream struct {
+	Depth   int
+	streams []streamEntry
+	clock   uint64
+}
+
+type streamEntry struct {
+	lastBlock uint64
+	dir       int64 // +1 / -1
+	confirmed int
+	lru       uint64
+	valid     bool
+}
+
+// NewStream returns a 16-stream, depth-4 prefetcher.
+func NewStream() *Stream { return &Stream{Depth: 4, streams: make([]streamEntry, 16)} }
+
+// Name implements Prefetcher.
+func (p *Stream) Name() string { return "stream" }
+
+// Operate implements Prefetcher.
+func (p *Stream) Operate(now int64, a *Access, iss Issuer) {
+	if !a.Type.IsDemand() {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	block := memsys.BlockNumber(addr)
+	p.clock++
+
+	// Match against existing streams: the access continues a stream if
+	// it lands within 2 blocks of the expected next block.
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		delta := int64(block) - int64(s.lastBlock)
+		if s.dir > 0 && delta >= 1 && delta <= 2 || s.dir < 0 && delta <= -1 && delta >= -2 {
+			s.lastBlock = block
+			s.lru = p.clock
+			if s.confirmed < 4 {
+				s.confirmed++
+			}
+			if s.confirmed >= 2 {
+				for k := 1; k <= p.Depth; k++ {
+					cand := memsys.Addr(int64(block)+int64(k)*s.dir) << memsys.BlockBits
+					if !memsys.SamePage(addr, cand) {
+						break
+					}
+					iss.Issue(Candidate{Addr: cand, Class: memsys.ClassNone})
+				}
+			}
+			return
+		}
+		// An access adjacent in the other direction flips a young
+		// stream.
+		if s.confirmed == 0 && (delta == 1 || delta == -1) {
+			s.dir = delta
+			s.lastBlock = block
+			s.confirmed = 1
+			s.lru = p.clock
+			return
+		}
+	}
+
+	// Allocate: replace the LRU stream.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range p.streams {
+		if !p.streams[i].valid {
+			victim = i
+			break
+		}
+		if p.streams[i].lru < oldest {
+			victim, oldest = i, p.streams[i].lru
+		}
+	}
+	p.streams[victim] = streamEntry{lastBlock: block, dir: 1, lru: p.clock, valid: true}
+}
+
+// Fill implements Prefetcher.
+func (p *Stream) Fill(int64, *FillEvent) {}
+
+// Cycle implements Prefetcher.
+func (p *Stream) Cycle(int64) {}
+
+func init() {
+	Register("stream", func(Level) Prefetcher { return NewStream() })
+}

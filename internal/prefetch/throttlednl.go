@@ -1,0 +1,81 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// ThrottledNL is the DPC-3 "enhancing" companion prefetcher the paper
+// pairs with SPP+PPF at the L2: a next-line prefetcher at the L1-D
+// that measures its own accuracy and goes quiet when next-line is the
+// wrong model for the access stream, re-probing occasionally so it can
+// come back in streaming phases.
+type ThrottledNL struct {
+	// On gates issuing; the accuracy window flips it.
+	on bool
+
+	fills  uint64
+	useful uint64
+	misses uint64 // exploration counter while off
+}
+
+const (
+	tnlWindow      = 128
+	tnlOnThreshold = 0.35
+	tnlProbeEvery  = 16
+)
+
+// NewThrottledNL returns the throttled next-line prefetcher.
+func NewThrottledNL() *ThrottledNL { return &ThrottledNL{on: true} }
+
+// Name implements Prefetcher.
+func (p *ThrottledNL) Name() string { return "throttled-nl" }
+
+// Operate implements Prefetcher.
+func (p *ThrottledNL) Operate(now int64, a *Access, iss Issuer) {
+	if !a.Type.IsDemand() {
+		return
+	}
+	if a.HitPrefetched {
+		p.useful++
+	}
+	if a.Hit {
+		return
+	}
+	p.misses++
+	// While throttled, keep probing sparsely so the accuracy window
+	// still fills and streaming phases re-enable us.
+	if !p.on && p.misses%tnlProbeEvery != 0 {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	cand := memsys.BlockAlign(addr) + memsys.BlockSize
+	if memsys.SamePage(addr, cand) {
+		iss.Issue(Candidate{Addr: cand, IP: a.IP, Class: memsys.ClassNL})
+	}
+}
+
+// Fill implements Prefetcher: close the accuracy window every
+// tnlWindow prefetch fills.
+func (p *ThrottledNL) Fill(now int64, f *FillEvent) {
+	if !f.Prefetch {
+		return
+	}
+	p.fills++
+	if p.fills < tnlWindow {
+		return
+	}
+	acc := float64(p.useful) / float64(p.fills)
+	p.on = acc >= tnlOnThreshold
+	p.fills, p.useful = 0, 0
+}
+
+// Cycle implements Prefetcher.
+func (p *ThrottledNL) Cycle(int64) {}
+
+// Enabled reports the gate state (testing).
+func (p *ThrottledNL) Enabled() bool { return p.on }
+
+func init() {
+	Register("throttled-nl", func(Level) Prefetcher { return NewThrottledNL() })
+}

@@ -1,0 +1,143 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// TSKID is a lightweight rendition of the T-SKID DPC-3 prefetcher: an
+// IP-stride core augmented with timekeeping — it records the observed
+// inter-access interval of each IP and delays issuing the prefetch so
+// the block arrives just before its predicted use instead of being
+// evicted from the small L1 while waiting (the paper's cactusBSSN
+// discussion). It uses a large table, reflecting T-SKID's >50KB
+// budget.
+type TSKID struct {
+	Degree  int
+	entries []tskidEntry
+	mask    uint64
+
+	// delayed holds scheduled prefetches awaiting their release cycle;
+	// due buffers released ones until the next Operate call provides
+	// an Issuer (the cache exposes issuing only at access time).
+	delayed []tskidPending
+	due     []memsys.Addr
+}
+
+type tskidEntry struct {
+	tag       uint64
+	lastBlock uint64
+	lastCycle int64
+	interval  int64
+	stride    int64
+	conf      uint8
+	valid     bool
+}
+
+type tskidPending struct {
+	at   int64
+	addr memsys.Addr
+}
+
+// NewTSKID returns a 1024-entry, degree-4 configuration.
+func NewTSKID() *TSKID {
+	return &TSKID{
+		Degree:  4,
+		entries: make([]tskidEntry, 1024),
+		mask:    1023,
+	}
+}
+
+// Name implements Prefetcher.
+func (p *TSKID) Name() string { return "tskid" }
+
+// Operate implements Prefetcher.
+func (p *TSKID) Operate(now int64, a *Access, iss Issuer) {
+	// Flush prefetches whose release time has arrived.
+	for _, d := range p.due {
+		iss.Issue(Candidate{Addr: d, Class: memsys.ClassNone})
+	}
+	p.due = p.due[:0]
+
+	if !a.Type.IsDemand() || a.IP == 0 {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	block := memsys.BlockNumber(addr)
+	idx := (a.IP >> 2) & p.mask
+	tag := (a.IP >> 2) >> 10
+	e := &p.entries[idx]
+	if !e.valid || e.tag != tag {
+		*e = tskidEntry{tag: tag, lastBlock: block, lastCycle: now, valid: true}
+		return
+	}
+	stride := int64(block) - int64(e.lastBlock)
+	interval := now - e.lastCycle
+	e.lastCycle = now
+	if stride == 0 {
+		return
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+		// Exponential smoothing of the inter-access interval.
+		if e.interval == 0 {
+			e.interval = interval
+		} else {
+			e.interval = (e.interval*3 + interval) / 4
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		}
+		if e.conf == 0 {
+			e.stride = stride
+			e.interval = interval
+		}
+	}
+	e.lastBlock = block
+	if e.conf < 2 || e.stride == 0 {
+		return
+	}
+	// Timekeeping: prefetch for the k-th future access is released at
+	// now + k*interval − leadTime, so it lands just in time.
+	const leadTime = 300 // ≈ DRAM latency in cycles
+	for k := 1; k <= p.Degree; k++ {
+		cand := memsys.Addr(int64(block)+int64(k)*e.stride) << memsys.BlockBits
+		if !memsys.SamePage(addr, cand) {
+			return
+		}
+		release := now + int64(k)*e.interval - leadTime
+		if release <= now {
+			iss.Issue(Candidate{Addr: cand, Class: memsys.ClassNone})
+			continue
+		}
+		if len(p.delayed) < 64 {
+			p.delayed = append(p.delayed, tskidPending{at: release, addr: cand})
+		}
+	}
+}
+
+// Fill implements Prefetcher.
+func (p *TSKID) Fill(int64, *FillEvent) {}
+
+// Cycle implements Prefetcher: release due delayed prefetches.
+func (p *TSKID) Cycle(now int64) {
+	if len(p.delayed) == 0 {
+		return
+	}
+	rest := p.delayed[:0]
+	for _, d := range p.delayed {
+		if d.at <= now {
+			p.due = append(p.due, d.addr)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	p.delayed = rest
+}
+
+func init() {
+	Register("tskid", func(Level) Prefetcher { return NewTSKID() })
+}

@@ -1,0 +1,181 @@
+package prefetch
+
+import "ipcp/internal/memsys"
+
+// VLDP is the Variable Length Delta Prefetcher [Shevgoor et al., MICRO
+// 2015]: per-page delta histories feed a cascade of delta prediction
+// tables keyed by progressively longer delta sequences; the longest
+// matching history wins. An offset prediction table (OPT) covers the
+// first access to a page.
+type VLDP struct {
+	Degree int
+
+	dhb  []vldpDHB
+	dpt1 map[int64]int64
+	dpt2 map[[2]int64]int64
+	dpt3 map[[3]int64]int64
+	opt  [memsys.LinesPerPage]int64
+
+	clock uint64
+}
+
+type vldpDHB struct {
+	page       uint64
+	lastOffset int
+	deltas     [3]int64 // most recent first
+	numDeltas  int
+	lru        uint64
+	valid      bool
+}
+
+const vldpDHBSize = 16
+
+// NewVLDP returns the default degree-4 configuration.
+func NewVLDP() *VLDP {
+	return &VLDP{
+		Degree: 4,
+		dhb:    make([]vldpDHB, vldpDHBSize),
+		dpt1:   make(map[int64]int64),
+		dpt2:   make(map[[2]int64]int64),
+		dpt3:   make(map[[3]int64]int64),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *VLDP) Name() string { return "vldp" }
+
+// Operate implements Prefetcher.
+func (p *VLDP) Operate(now int64, a *Access, iss Issuer) {
+	if !a.Type.IsDemand() {
+		return
+	}
+	addr := a.Addr
+	if a.VAddr != 0 {
+		addr = a.VAddr
+	}
+	page := memsys.PageNumber(addr)
+	offset := memsys.PageOffsetLine(addr)
+	p.clock++
+
+	e := p.findDHB(page)
+	if e.numDeltas == 0 && e.lastOffset == -1 {
+		// First access to the page: train/consult the OPT.
+		e.lastOffset = offset
+		if d := p.opt[offset]; d != 0 {
+			p.chase(addr, offset, []int64{d}, iss)
+		}
+		return
+	}
+	delta := int64(offset - e.lastOffset)
+	if delta == 0 {
+		return
+	}
+	if e.numDeltas == 0 {
+		p.opt[e.lastOffset] = delta
+	}
+
+	// Train the DPTs on the history that predicted this delta. The
+	// maps model fixed-capacity hardware tables: past the cap they are
+	// cleared rather than grown.
+	const dptCap = 4096
+	if e.numDeltas >= 1 {
+		if len(p.dpt1) >= dptCap {
+			p.dpt1 = make(map[int64]int64)
+		}
+		p.dpt1[e.deltas[0]] = delta
+	}
+	if e.numDeltas >= 2 {
+		if len(p.dpt2) >= dptCap {
+			p.dpt2 = make(map[[2]int64]int64)
+		}
+		p.dpt2[[2]int64{e.deltas[0], e.deltas[1]}] = delta
+	}
+	if e.numDeltas >= 3 {
+		if len(p.dpt3) >= dptCap {
+			p.dpt3 = make(map[[3]int64]int64)
+		}
+		p.dpt3[[3]int64{e.deltas[0], e.deltas[1], e.deltas[2]}] = delta
+	}
+
+	// Shift the new delta in.
+	e.deltas[2], e.deltas[1], e.deltas[0] = e.deltas[1], e.deltas[0], delta
+	if e.numDeltas < 3 {
+		e.numDeltas++
+	}
+	e.lastOffset = offset
+
+	// Predict: longest history first.
+	hist := []int64{e.deltas[0], e.deltas[1], e.deltas[2]}
+	p.chase(addr, offset, hist[:e.numDeltas], iss)
+}
+
+// chase walks the prediction chain up to Degree prefetches.
+func (p *VLDP) chase(addr memsys.Addr, offset int, hist []int64, iss Issuer) {
+	cur := offset
+	h := append([]int64(nil), hist...)
+	for k := 0; k < p.Degree; k++ {
+		d, ok := p.predict(h)
+		if !ok || d == 0 {
+			return
+		}
+		cur += int(d)
+		if cur < 0 || cur >= memsys.LinesPerPage {
+			return
+		}
+		cand := addr&^memsys.Addr(memsys.PageSize-1) + memsys.Addr(cur)*memsys.BlockSize
+		iss.Issue(Candidate{Addr: cand, Class: memsys.ClassNone})
+		// Shift the predicted delta into the speculative history.
+		h = append([]int64{d}, h...)
+		if len(h) > 3 {
+			h = h[:3]
+		}
+	}
+}
+
+func (p *VLDP) predict(h []int64) (int64, bool) {
+	if len(h) >= 3 {
+		if d, ok := p.dpt3[[3]int64{h[0], h[1], h[2]}]; ok {
+			return d, true
+		}
+	}
+	if len(h) >= 2 {
+		if d, ok := p.dpt2[[2]int64{h[0], h[1]}]; ok {
+			return d, true
+		}
+	}
+	if len(h) >= 1 {
+		if d, ok := p.dpt1[h[0]]; ok {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+func (p *VLDP) findDHB(page uint64) *vldpDHB {
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range p.dhb {
+		e := &p.dhb[i]
+		if e.valid && e.page == page {
+			e.lru = p.clock
+			return e
+		}
+		if !e.valid {
+			victim, oldest = i, 0
+		} else if e.lru < oldest {
+			victim, oldest = i, e.lru
+		}
+	}
+	p.dhb[victim] = vldpDHB{page: page, lastOffset: -1, lru: p.clock, valid: true}
+	return &p.dhb[victim]
+}
+
+// Fill implements Prefetcher.
+func (p *VLDP) Fill(int64, *FillEvent) {}
+
+// Cycle implements Prefetcher.
+func (p *VLDP) Cycle(int64) {}
+
+func init() {
+	Register("vldp", func(Level) Prefetcher { return NewVLDP() })
+}

@@ -1,0 +1,190 @@
+package repl
+
+import "ipcp/internal/memsys"
+
+// hawkeye is a lightweight Hawkeye [Jain & Lin, ISCA 2016]: sampled
+// sets replay Belady's OPT over their recent access history (OPTgen);
+// the outcome trains a PC-indexed predictor that classifies loads as
+// cache-friendly or cache-averse; averse fills insert at distant RRPV
+// so they evict first. The paper's LLC sensitivity study (§VI-C)
+// includes Hawkeye.
+type hawkeye struct {
+	sets, ways int
+	rrpv       []uint8 // 3-bit
+
+	// pcOf remembers the filling PC per line, to detrain on eviction
+	// of never-reused friendly lines.
+	pcOf    []uint64
+	usedBit []bool
+
+	predictor []int8 // 3-bit signed counters, indexed by PC hash
+
+	samplers map[int]*optSampler
+}
+
+const (
+	hawkeyeRRPVMax   = 7
+	hawkeyePredSize  = 1 << 12
+	hawkeyeSampleInt = 16 // every 16th set is sampled
+	optHistory       = 128
+)
+
+// optSampler replays OPT for one sampled set.
+type optSampler struct {
+	ways int
+	// entries: last access time + PC per recently seen block.
+	entries map[uint64]optEntry
+	occ     [optHistory]uint8
+	clock   int
+}
+
+type optEntry struct {
+	lastTime int
+	pc       uint64
+}
+
+// NewHawkeye returns the sampled-OPTgen policy.
+func NewHawkeye(sets, ways int) Policy {
+	h := &hawkeye{
+		sets: sets, ways: ways,
+		rrpv:      make([]uint8, sets*ways),
+		pcOf:      make([]uint64, sets*ways),
+		usedBit:   make([]bool, sets*ways),
+		predictor: make([]int8, hawkeyePredSize),
+		samplers:  make(map[int]*optSampler),
+	}
+	for i := range h.rrpv {
+		h.rrpv[i] = hawkeyeRRPVMax
+	}
+	return h
+}
+
+func (h *hawkeye) Name() string { return "hawkeye" }
+
+func hawkeyePCIndex(pc uint64) int {
+	return int((pc ^ pc>>13 ^ pc>>27) & (hawkeyePredSize - 1))
+}
+
+func (h *hawkeye) friendly(pc uint64) bool {
+	return h.predictor[hawkeyePCIndex(pc)] >= 0
+}
+
+func (h *hawkeye) train(pc uint64, up bool) {
+	i := hawkeyePCIndex(pc)
+	if up && h.predictor[i] < 3 {
+		h.predictor[i]++
+	}
+	if !up && h.predictor[i] > -4 {
+		h.predictor[i]--
+	}
+}
+
+// sample runs OPTgen for a sampled set access and trains the
+// predictor.
+func (h *hawkeye) sample(set int, r *memsys.Request) {
+	if r == nil || set%hawkeyeSampleInt != 0 {
+		return
+	}
+	s := h.samplers[set]
+	if s == nil {
+		s = &optSampler{ways: h.ways, entries: make(map[uint64]optEntry)}
+		h.samplers[set] = s
+	}
+	block := memsys.BlockNumber(r.Addr)
+	now := s.clock
+	s.clock++
+	if s.clock >= optHistory {
+		// Period rollover: restart the interval bookkeeping.
+		s.clock = 0
+		for i := range s.occ {
+			s.occ[i] = 0
+		}
+		s.entries = make(map[uint64]optEntry)
+		s.entries[block] = optEntry{lastTime: 0, pc: r.IP}
+		s.clock = 1
+		return
+	}
+	if e, ok := s.entries[block]; ok {
+		// Would OPT have kept this line across [lastTime, now)?
+		fits := true
+		for t := e.lastTime; t < now; t++ {
+			if s.occ[t] >= uint8(s.ways) {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			for t := e.lastTime; t < now; t++ {
+				s.occ[t]++
+			}
+		}
+		// The PC that brought the line in was friendly iff OPT would
+		// have hit.
+		h.train(e.pc, fits)
+	}
+	if len(s.entries) >= 8*s.ways {
+		// Bound the sampler like hardware (8× associativity): evict
+		// the stalest entry.
+		var oldest uint64
+		oldestT := int(^uint(0) >> 1)
+		for b, e := range s.entries {
+			if e.lastTime < oldestT {
+				oldest, oldestT = b, e.lastTime
+			}
+		}
+		delete(s.entries, oldest)
+	}
+	s.entries[block] = optEntry{lastTime: now, pc: r.IP}
+}
+
+func (h *hawkeye) Hit(set, way int, r *memsys.Request) {
+	idx := set*h.ways + way
+	h.rrpv[idx] = 0
+	h.usedBit[idx] = true
+	h.sample(set, r)
+}
+
+func (h *hawkeye) Fill(set, way int, r *memsys.Request) {
+	idx := set*h.ways + way
+	pc := uint64(0)
+	if r != nil {
+		pc = r.IP
+	}
+	// Detrain the PC of an evicted friendly-but-unused line.
+	if !h.usedBit[idx] && h.rrpv[idx] != hawkeyeRRPVMax && h.pcOf[idx] != 0 {
+		h.train(h.pcOf[idx], false)
+	}
+	h.pcOf[idx] = pc
+	h.usedBit[idx] = false
+	if h.friendly(pc) {
+		h.rrpv[idx] = 0
+		// Age the other friendly lines so the set keeps an ordering.
+		base := set * h.ways
+		for w := 0; w < h.ways; w++ {
+			if w != way && h.rrpv[base+w] < hawkeyeRRPVMax-1 {
+				h.rrpv[base+w]++
+			}
+		}
+	} else {
+		h.rrpv[idx] = hawkeyeRRPVMax
+	}
+	h.sample(set, r)
+}
+
+func (h *hawkeye) Victim(set int, r *memsys.Request) int {
+	base := set * h.ways
+	victim, worst := 0, uint8(0)
+	for w := 0; w < h.ways; w++ {
+		if h.rrpv[base+w] == hawkeyeRRPVMax {
+			return w // a cache-averse line goes first
+		}
+		if h.rrpv[base+w] >= worst {
+			victim, worst = w, h.rrpv[base+w]
+		}
+	}
+	return victim
+}
+
+func init() {
+	factories["hawkeye"] = NewHawkeye
+}

@@ -1,0 +1,164 @@
+package repl
+
+import (
+	"testing"
+
+	"ipcp/internal/memsys"
+)
+
+func req(pc, addr uint64) *memsys.Request {
+	return &memsys.Request{IP: pc, Addr: addr}
+}
+
+func TestHawkeyeRegistered(t *testing.T) {
+	p, err := New("hawkeye", 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "hawkeye" {
+		t.Errorf("name = %q", p.Name())
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "hawkeye" {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("hawkeye intentionally not in Names(); registry-only")
+	}
+}
+
+func TestHawkeyeAverseInsertsEvictFirst(t *testing.T) {
+	h := NewHawkeye(64, 4).(*hawkeye)
+	// Force a PC to be averse.
+	badPC := uint64(0xbad0)
+	for i := 0; i < 8; i++ {
+		h.train(badPC, false)
+	}
+	goodPC := uint64(0x600d0)
+	for i := 0; i < 8; i++ {
+		h.train(goodPC, true)
+	}
+	// Fill ways 0-2 friendly, way 3 averse.
+	for w := 0; w < 3; w++ {
+		h.Fill(1, w, req(goodPC, uint64(w)*64))
+	}
+	h.Fill(1, 3, req(badPC, 3*64))
+	if v := h.Victim(1, nil); v != 3 {
+		t.Errorf("victim = %d, want the averse line (3)", v)
+	}
+}
+
+func TestHawkeyeOPTgenTrainsFriendly(t *testing.T) {
+	h := NewHawkeye(64, 4).(*hawkeye)
+	pc := uint64(0x42000)
+	// A tight reuse loop in a SAMPLED set (set 0): two blocks
+	// alternating — OPT always hits, so the PC must train friendly.
+	blocks := []uint64{0 << 6, 64 << 6}
+	way := 0
+	for i := 0; i < 60; i++ {
+		b := blocks[i%2]
+		h.Fill(0, way%4, req(pc, b*64))
+		way++
+		h.Hit(0, way%4, req(pc, b*64))
+	}
+	if !h.friendly(pc) {
+		t.Errorf("reused PC classified averse (predictor %d)", h.predictor[hawkeyePCIndex(pc)])
+	}
+}
+
+func TestHawkeyeOPTgenTrainsAverse(t *testing.T) {
+	h := NewHawkeye(64, 2).(*hawkeye)
+	pc := uint64(0x43000)
+	// A scan over far more blocks than the 2 ways with reuse distance
+	// ≫ ways: OPT misses, so the PC trains averse. Each block is
+	// touched twice, 16 distinct blocks apart, in a sampled set.
+	for round := 0; round < 6; round++ {
+		for b := uint64(0); b < 16; b++ {
+			h.sample(0, req(pc, b<<6))
+		}
+	}
+	if h.friendly(pc) {
+		t.Errorf("thrashing PC classified friendly (predictor %d)", h.predictor[hawkeyePCIndex(pc)])
+	}
+}
+
+func TestHawkeyeVictimInRange(t *testing.T) {
+	h := NewHawkeye(8, 4)
+	for i := 0; i < 500; i++ {
+		set := i % 8
+		way := (i / 8) % 4
+		r := req(uint64(i)*31, uint64(i)*64)
+		h.Fill(set, way, r)
+		if i%3 == 0 {
+			h.Hit(set, way, r)
+		}
+		if v := h.Victim(set, r); v < 0 || v >= 4 {
+			t.Fatalf("victim out of range: %d", v)
+		}
+	}
+}
+
+func TestHawkeyeNilRequestTolerated(t *testing.T) {
+	h := NewHawkeye(8, 4)
+	h.Fill(0, 0, nil)
+	h.Hit(0, 0, nil)
+	if v := h.Victim(0, nil); v < 0 || v >= 4 {
+		t.Fatalf("victim out of range: %d", v)
+	}
+}
+
+func TestMPPPBRegisteredAndSane(t *testing.T) {
+	p, err := New("mpppb", 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "mpppb" {
+		t.Errorf("name = %q", p.Name())
+	}
+	// Random traffic: victims always in range; fills and hits don't
+	// panic.
+	for i := 0; i < 2000; i++ {
+		set := i % 16
+		way := (i * 7) % 4
+		r := req(uint64(i)*131, uint64(i)*64)
+		p.Fill(set, way, r)
+		if i%2 == 0 {
+			p.Hit(set, way, r)
+		}
+		if v := p.Victim(set, r); v < 0 || v >= 4 {
+			t.Fatalf("victim out of range: %d", v)
+		}
+	}
+}
+
+func TestMPPPBLearnsDeadPC(t *testing.T) {
+	p := NewMPPPB(16, 4).(*mpppb)
+	dead := uint64(0xdead00)
+	// Refill the same slot from one PC without reuse: the vote for
+	// that PC's features must go negative.
+	for i := 0; i < 60; i++ {
+		p.Fill(0, 0, req(dead, uint64(i)*64))
+	}
+	if y := p.vote(p.features(req(dead, 60*64))); y >= 0 {
+		t.Errorf("dead PC vote = %d, want negative", y)
+	}
+	// A dead-predicted fill inserts at distant RRPV.
+	p.Fill(1, 0, req(dead, 99*64))
+	if p.rrpv[1*4+0] != mpppbRRPVMax {
+		t.Errorf("dead fill at RRPV %d, want %d", p.rrpv[1*4+0], mpppbRRPVMax)
+	}
+}
+
+func TestMPPPBLearnsLivePC(t *testing.T) {
+	p := NewMPPPB(16, 4).(*mpppb)
+	live := uint64(0x11fe00)
+	for i := 0; i < 60; i++ {
+		p.Fill(0, 0, req(live, 0x4000))
+		p.Hit(0, 0, req(live, 0x4000))
+	}
+	if y := p.vote(p.features(req(live, 0x4000))); y <= 0 {
+		t.Errorf("live PC vote = %d, want positive", y)
+	}
+}

@@ -1,0 +1,140 @@
+package repl
+
+import "ipcp/internal/memsys"
+
+// mpppb is a lightweight multiperspective placement/promotion policy
+// [Jiménez & Teran, MICRO 2017, "MPPPB"]: several feature tables of
+// small signed counters vote on whether a filled or promoted line will
+// be reused; dead-on-arrival predictions insert at distant RRPV. The
+// paper's §VI-C notes that under MPPPB every prefetcher drops ~3%
+// (prefetched lines look dead to the reuse predictor), which this lite
+// version reproduces qualitatively.
+type mpppb struct {
+	sets, ways int
+	rrpv       []uint8
+
+	// Per-line: the feature indices used at fill time (for training on
+	// the observed outcome) and the reuse bit.
+	feats [][mpppbFeatures]uint16
+	used  []bool
+
+	tables [mpppbFeatures][]int8
+}
+
+const (
+	mpppbFeatures  = 3
+	mpppbTableSize = 1 << 11
+	mpppbWeightMax = 31
+	mpppbRRPVMax   = 7
+	// theta is the training threshold: confident predictions stop
+	// updating (perceptron training rule).
+	mpppbTheta = 20
+)
+
+// NewMPPPB returns the multiperspective policy.
+func NewMPPPB(sets, ways int) Policy {
+	p := &mpppb{
+		sets: sets, ways: ways,
+		rrpv:  make([]uint8, sets*ways),
+		feats: make([][mpppbFeatures]uint16, sets*ways),
+		used:  make([]bool, sets*ways),
+	}
+	for i := range p.rrpv {
+		p.rrpv[i] = mpppbRRPVMax
+	}
+	for f := range p.tables {
+		p.tables[f] = make([]int8, mpppbTableSize)
+	}
+	return p
+}
+
+func (p *mpppb) Name() string { return "mpppb" }
+
+// features extracts the perspectives for one access.
+func (p *mpppb) features(r *memsys.Request) [mpppbFeatures]uint16 {
+	var pc, addr uint64
+	if r != nil {
+		pc, addr = r.IP, uint64(memsys.BlockNumber(r.Addr))
+	}
+	return [mpppbFeatures]uint16{
+		uint16((pc ^ pc>>11) & (mpppbTableSize - 1)),
+		uint16((addr ^ addr>>9) & (mpppbTableSize - 1)),
+		uint16((pc ^ addr<<3 ^ addr>>17) & (mpppbTableSize - 1)),
+	}
+}
+
+func (p *mpppb) vote(f [mpppbFeatures]uint16) int {
+	s := 0
+	for i := range f {
+		s += int(p.tables[i][f[i]])
+	}
+	return s
+}
+
+func (p *mpppb) train(f [mpppbFeatures]uint16, reused bool) {
+	y := p.vote(f)
+	if reused && y > mpppbTheta || !reused && y < -mpppbTheta {
+		return // confident enough; perceptron rule stops updating
+	}
+	for i := range f {
+		w := &p.tables[i][f[i]]
+		if reused && *w < mpppbWeightMax {
+			*w++
+		}
+		if !reused && *w > -mpppbWeightMax {
+			*w--
+		}
+	}
+}
+
+func (p *mpppb) Hit(set, way int, r *memsys.Request) {
+	idx := set*p.ways + way
+	if !p.used[idx] {
+		p.used[idx] = true
+		p.train(p.feats[idx], true)
+	}
+	// Promotion: predicted-reusable lines go to the front; others only
+	// part way.
+	if p.vote(p.features(r)) >= 0 {
+		p.rrpv[idx] = 0
+	} else if p.rrpv[idx] > 1 {
+		p.rrpv[idx] = 1
+	}
+}
+
+func (p *mpppb) Fill(set, way int, r *memsys.Request) {
+	idx := set*p.ways + way
+	// Train on the outgoing line's outcome.
+	if !p.used[idx] && p.feats[idx] != ([mpppbFeatures]uint16{}) {
+		p.train(p.feats[idx], false)
+	}
+	f := p.features(r)
+	p.feats[idx] = f
+	p.used[idx] = false
+	switch y := p.vote(f); {
+	case y < -mpppbTheta/2:
+		p.rrpv[idx] = mpppbRRPVMax // predicted dead on arrival
+	case y < 0:
+		p.rrpv[idx] = mpppbRRPVMax - 2
+	default:
+		p.rrpv[idx] = 1
+	}
+}
+
+func (p *mpppb) Victim(set int, r *memsys.Request) int {
+	base := set * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == mpppbRRPVMax {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}
+
+func init() {
+	factories["mpppb"] = NewMPPPB
+}

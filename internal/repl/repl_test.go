@@ -1,0 +1,194 @@
+package repl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipcp/internal/memsys"
+)
+
+func TestNewKnownNames(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name, 16, 4)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := New("nonsense", 16, 4); err == nil {
+		t.Error("New(nonsense) should fail")
+	}
+}
+
+func TestLRUStackProperty(t *testing.T) {
+	p := NewLRU(1, 4)
+	// Fill ways 0..3 in order; way 0 is LRU.
+	for w := 0; w < 4; w++ {
+		p.Fill(0, w, nil)
+	}
+	if v := p.Victim(0, nil); v != 0 {
+		t.Fatalf("victim = %d, want 0", v)
+	}
+	p.Hit(0, 0, nil) // 0 becomes MRU; 1 is now LRU
+	if v := p.Victim(0, nil); v != 1 {
+		t.Fatalf("victim after hit = %d, want 1", v)
+	}
+}
+
+// TestLRUMatchesReference replays a random trace against a reference
+// stack-based LRU model.
+func TestLRUMatchesReference(t *testing.T) {
+	const ways = 8
+	p := NewLRU(1, ways)
+	ref := make([]int, 0, ways) // ref[0] = LRU ... last = MRU
+	touch := func(w int) {
+		for i, x := range ref {
+			if x == w {
+				ref = append(ref[:i], ref[i+1:]...)
+				break
+			}
+		}
+		ref = append(ref, w)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for w := 0; w < ways; w++ {
+		p.Fill(0, w, nil)
+		touch(w)
+	}
+	for i := 0; i < 10000; i++ {
+		w := rng.Intn(ways)
+		p.Hit(0, w, nil)
+		touch(w)
+		if got, want := p.Victim(0, nil), ref[0]; got != want {
+			t.Fatalf("step %d: victim %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestVictimInRangeProperty(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		p, _ := New(name, 8, 4)
+		f := func(ops []uint16) bool {
+			for _, op := range ops {
+				set := int(op) % 8
+				way := int(op>>3) % 4
+				r := &memsys.Request{IP: uint64(op) * 2654435761}
+				switch op % 3 {
+				case 0:
+					p.Fill(set, way, r)
+				case 1:
+					p.Hit(set, way, r)
+				case 2:
+					if v := p.Victim(set, r); v < 0 || v >= 4 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSRRIPPromotesOnHit(t *testing.T) {
+	p := NewSRRIP(1, 2)
+	p.Fill(0, 0, nil)
+	p.Fill(0, 1, nil)
+	p.Hit(0, 0, nil) // way 0 promoted to RRPV 0
+	// Victim search ages both until one reaches max; way 1 is closer.
+	if v := p.Victim(0, nil); v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+}
+
+func TestSRRIPVictimTerminates(t *testing.T) {
+	p := NewSRRIP(4, 16)
+	// All lines promoted: victim search must still terminate via aging.
+	for w := 0; w < 16; w++ {
+		p.Fill(1, w, nil)
+		p.Hit(1, w, nil)
+	}
+	done := make(chan int, 1)
+	go func() { done <- p.Victim(1, nil) }()
+	v := <-done
+	if v < 0 || v >= 16 {
+		t.Fatalf("victim out of range: %d", v)
+	}
+}
+
+func TestDRRIPDueling(t *testing.T) {
+	p := NewDRRIP(64, 4).(*drrip)
+	// Misses (fills) in SRRIP leader sets increment PSEL; in BRRIP
+	// leaders decrement it.
+	start := p.psel
+	for i := 0; i < 10; i++ {
+		p.Fill(0, i%4, nil) // set 0 is an SRRIP leader
+	}
+	if p.psel <= start {
+		t.Errorf("PSEL did not increase on SRRIP-leader misses: %d -> %d", start, p.psel)
+	}
+	mid := p.psel
+	for i := 0; i < 10; i++ {
+		p.Fill(17, i%4, nil) // set 17 is a BRRIP leader
+	}
+	if p.psel >= mid {
+		t.Errorf("PSEL did not decrease on BRRIP-leader misses: %d -> %d", mid, p.psel)
+	}
+}
+
+func TestSHiPLearnsDeadIP(t *testing.T) {
+	p := NewSHiP(16, 4).(*ship)
+	deadIP := &memsys.Request{IP: 0xdead0}
+	// Refill the same slot from one IP and never re-reference it: each
+	// refill trains on the dead outgoing line, so the IP's SHCT counter
+	// falls to zero and future fills from it insert at distant RRPV.
+	for i := 0; i < 16; i++ {
+		p.Fill(0, 0, deadIP)
+	}
+	if got := p.shct[sigOf(deadIP)]; got != 0 {
+		t.Fatalf("dead IP SHCT = %d, want 0", got)
+	}
+	p.Fill(0, 0, deadIP)
+	if got := p.rrpv[0]; got != rrpvMax {
+		t.Errorf("dead IP inserted at RRPV %d, want %d", got, rrpvMax)
+	}
+}
+
+func TestSHiPLearnsLiveIP(t *testing.T) {
+	p := NewSHiP(16, 4).(*ship)
+	liveIP := &memsys.Request{IP: 0x1117e0}
+	for i := 0; i < 32; i++ {
+		p.Fill(0, 0, liveIP)
+		p.Hit(0, 0, liveIP) // re-referenced: SHCT trains up
+	}
+	if got := p.shct[sigOf(liveIP)]; got < 2 {
+		t.Errorf("live IP SHCT = %d, want trained up", got)
+	}
+	p.Fill(1, 0, liveIP)
+	if got := p.rrpv[1*4+0]; got == rrpvMax {
+		t.Error("live IP inserted dead-on-arrival")
+	}
+}
+
+func TestPoliciesIndependentSets(t *testing.T) {
+	// Activity in one set must not disturb another set's LRU order.
+	p := NewLRU(2, 2)
+	p.Fill(0, 0, nil)
+	p.Fill(0, 1, nil)
+	p.Fill(1, 0, nil)
+	p.Fill(1, 1, nil)
+	p.Hit(1, 0, nil)
+	if v := p.Victim(0, nil); v != 0 {
+		t.Errorf("set 0 victim = %d, want 0", v)
+	}
+	if v := p.Victim(1, nil); v != 1 {
+		t.Errorf("set 1 victim = %d, want 1", v)
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+
+	"ipcp/internal/cache"
+	"ipcp/internal/cpu"
+	"ipcp/internal/dram"
+	"ipcp/internal/memsys"
+	"ipcp/internal/prefetch"
+)
+
+// PrefetcherSpec selects the prefetcher for one cache level: either a
+// registered name, or an explicit constructor (which wins when both are
+// set). The zero value means "no prefetching".
+type PrefetcherSpec struct {
+	Name string
+	New  func() prefetch.Prefetcher
+}
+
+func (s PrefetcherSpec) build(level memsys.Level) (prefetch.Prefetcher, error) {
+	if s.New != nil {
+		return s.New(), nil
+	}
+	return prefetch.New(s.Name, level)
+}
+
+// String names the spec for reports.
+func (s PrefetcherSpec) String() string {
+	if s.New != nil {
+		p := s.New()
+		return p.Name()
+	}
+	if s.Name == "" {
+		return "none"
+	}
+	return s.Name
+}
+
+// Config describes a whole simulated system.
+type Config struct {
+	Cores int
+	Core  cpu.Config
+
+	L1I, L1D, L2, LLC cache.Config
+	DRAM              dram.Config
+
+	// Prefetchers per level. Each private level gets one instance per
+	// core; the LLC gets a single shared instance. The L1-I prefetcher
+	// sees code reads (next-line helps big-code server workloads).
+	L1IPrefetcher PrefetcherSpec
+	L1DPrefetcher PrefetcherSpec
+	L2Prefetcher  PrefetcherSpec
+	LLCPrefetcher PrefetcherSpec
+
+	// Seed drives physical page allocation.
+	Seed int64
+
+	// MaxCycles aborts a run that fails to make progress (a deadlock
+	// guard; 0 means a generous default is derived from the
+	// instruction budget).
+	MaxCycles int64
+}
+
+// PaperConfig returns the simulated system of the paper's Table II for
+// the given core count: 4 GHz 4-wide cores with 256-entry ROBs, 32KB
+// L1-I, 48KB L1-D (PQ 8, MSHR 16, 2 ports), 512KB L2 (PQ 16, MSHR 32),
+// a shared 2MB/core LLC, and DDR4-1600 with one channel per single-core
+// run or two channels for multi-core.
+func PaperConfig(cores int) Config {
+	channels := 1
+	if cores > 1 {
+		channels = 2
+	}
+	llcPorts := cores
+	if llcPorts < 2 {
+		llcPorts = 2
+	}
+	return Config{
+		Cores: cores,
+		Core:  cpu.DefaultConfig(),
+		L1I: cache.Config{
+			Name: "L1I", Level: memsys.LevelL1I,
+			Sets: 64, Ways: 8, Latency: 3, Ports: 4,
+			RQSize: 16, WQSize: 16, PQSize: 8, MSHRs: 8,
+		},
+		L1D: cache.Config{
+			Name: "L1D", Level: memsys.LevelL1D,
+			Sets: 64, Ways: 12, Latency: 5, Ports: 2,
+			RQSize: 64, WQSize: 64, PQSize: 8, MSHRs: 16,
+		},
+		L2: cache.Config{
+			Name: "L2", Level: memsys.LevelL2,
+			Sets: 1024, Ways: 8, Latency: 10, Ports: 2,
+			RQSize: 32, WQSize: 32, PQSize: 16, MSHRs: 32,
+		},
+		LLC: cache.Config{
+			Name: "LLC", Level: memsys.LevelLLC,
+			Sets: 2048 * cores, Ways: 16, Latency: 20, Ports: llcPorts,
+			RQSize: 32 * cores, WQSize: 32 * cores,
+			PQSize: 32 * cores, MSHRs: 64 * cores,
+		},
+		DRAM: dram.DefaultConfig(channels),
+		Seed: 1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sim: core count must be positive, got %d", c.Cores)
+	}
+	if c.LLC.Sets&(c.LLC.Sets-1) != 0 {
+		return fmt.Errorf("sim: LLC sets (%d) must be a power of two; "+
+			"PaperConfig requires a power-of-two core count", c.LLC.Sets)
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package sim assembles cores, caches, DRAM and prefetchers into a
+// runnable system, runs warmup + measurement phases, and reports IPC
+// and hierarchy statistics. It is the layer the experiment harness and
+// the public facade drive.
+package sim
+
+import (
+	"fmt"
+
+	"ipcp/internal/cache"
+	"ipcp/internal/cpu"
+	"ipcp/internal/dram"
+	"ipcp/internal/memsys"
+	"ipcp/internal/trace"
+	"ipcp/internal/vmem"
+)
+
+// System is one assembled simulation.
+type System struct {
+	cfg Config
+
+	cores []*cpu.Core
+	l1is  []*cache.Cache
+	l1ds  []*cache.Cache
+	l2s   []*cache.Cache
+	llc   *cache.Cache
+	mem   *dram.Controller
+
+	cycle int64
+}
+
+// Result reports one run's measured statistics.
+type Result struct {
+	Cores        int
+	Instructions uint64 // measured instructions per core
+
+	// CyclesPerCore is each core's measured cycle count (finish −
+	// measurement start).
+	CyclesPerCore []int64
+	IPC           []float64
+
+	CoreStats    []cpu.Stats
+	L1I, L1D, L2 []cache.Stats
+	LLC          cache.Stats
+	DRAM         dram.Stats
+}
+
+// MPKI returns core i's demand misses per kilo instruction at the given
+// level ("L1D", "L2", "LLC"). For the shared LLC the misses are the
+// whole system's, divided by the per-core instruction count times the
+// core count.
+func (r *Result) MPKI(level string, core int) float64 {
+	instr := float64(r.Instructions)
+	switch level {
+	case "L1D":
+		return float64(r.L1D[core].DemandMisses()) * 1000 / instr
+	case "L2":
+		return float64(r.L2[core].DemandMisses()) * 1000 / instr
+	case "LLC":
+		return float64(r.LLC.DemandMisses()) * 1000 / (instr * float64(r.Cores))
+	default:
+		return 0
+	}
+}
+
+// TotalDemandMisses sums demand misses across cores for a private level
+// or returns the shared LLC's.
+func (r *Result) TotalDemandMisses(level string) uint64 {
+	var t uint64
+	switch level {
+	case "L1D":
+		for i := range r.L1D {
+			t += r.L1D[i].DemandMisses()
+		}
+	case "L2":
+		for i := range r.L2 {
+			t += r.L2[i].DemandMisses()
+		}
+	case "LLC":
+		t = r.LLC.DemandMisses()
+	}
+	return t
+}
+
+// Build wires a system from cfg, one trace stream per core.
+func Build(cfg Config, streams []trace.Stream) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(streams) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d cores but %d streams", cfg.Cores, len(streams))
+	}
+
+	s := &System{cfg: cfg}
+
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	s.mem = mem
+
+	llcCfg := cfg.LLC
+	llc, err := cache.New(llcCfg)
+	if err != nil {
+		return nil, err
+	}
+	llc.SetLower(mem)
+	llcPf, err := cfg.LLCPrefetcher.build(memsys.LevelLLC)
+	if err != nil {
+		return nil, err
+	}
+	llc.SetPrefetcher(llcPf)
+	s.llc = llc
+
+	alloc := vmem.NewPhysAllocator(cfg.Seed)
+
+	for i := 0; i < cfg.Cores; i++ {
+		l2Cfg := cfg.L2
+		l2Cfg.Name = fmt.Sprintf("L2.%d", i)
+		l2, err := cache.New(l2Cfg)
+		if err != nil {
+			return nil, err
+		}
+		l2.SetLower(llc)
+		l2Pf, err := cfg.L2Prefetcher.build(memsys.LevelL2)
+		if err != nil {
+			return nil, err
+		}
+		l2.SetPrefetcher(l2Pf)
+
+		l1dCfg := cfg.L1D
+		l1dCfg.Name = fmt.Sprintf("L1D.%d", i)
+		l1d, err := cache.New(l1dCfg)
+		if err != nil {
+			return nil, err
+		}
+		l1d.SetLower(l2)
+		l1dPf, err := cfg.L1DPrefetcher.build(memsys.LevelL1D)
+		if err != nil {
+			return nil, err
+		}
+		l1d.SetPrefetcher(l1dPf)
+
+		l1iCfg := cfg.L1I
+		l1iCfg.Name = fmt.Sprintf("L1I.%d", i)
+		l1i, err := cache.New(l1iCfg)
+		if err != nil {
+			return nil, err
+		}
+		l1i.SetLower(l2)
+		l1iPf, err := cfg.L1IPrefetcher.build(memsys.LevelL1I)
+		if err != nil {
+			return nil, err
+		}
+		l1i.SetPrefetcher(l1iPf)
+
+		core, err := cpu.New(i, cfg.Core, streams[i], alloc)
+		if err != nil {
+			return nil, err
+		}
+		core.Attach(l1d, l1i)
+		// The L1-D prefetcher computes virtual prefetch addresses;
+		// translate through the core's page table without allocating.
+		l1d.SetTranslator(core.PageTable().TranslateExisting)
+
+		s.cores = append(s.cores, core)
+		s.l1ds = append(s.l1ds, l1d)
+		s.l1is = append(s.l1is, l1i)
+		s.l2s = append(s.l2s, l2)
+	}
+	return s, nil
+}
+
+// L1D exposes core i's L1-D cache (tests and experiments).
+func (s *System) L1D(i int) *cache.Cache { return s.l1ds[i] }
+
+// L2 exposes core i's L2 cache.
+func (s *System) L2(i int) *cache.Cache { return s.l2s[i] }
+
+// LLC exposes the shared LLC.
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// DRAM exposes the memory controller.
+func (s *System) DRAM() *dram.Controller { return s.mem }
+
+// Core exposes core i.
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// step advances the whole system one cycle, memory side first so that
+// data returned this cycle is visible to the cores next cycle.
+func (s *System) step() {
+	now := s.cycle
+	s.mem.Cycle(now)
+	s.llc.Cycle(now)
+	for i := range s.cores {
+		s.l2s[i].Cycle(now)
+		s.l1ds[i].Cycle(now)
+		s.l1is[i].Cycle(now)
+		s.cores[i].Cycle(now)
+	}
+	s.cycle++
+}
+
+// resetStats zeroes every component's counters at the warmup boundary.
+func (s *System) resetStats() {
+	for i := range s.cores {
+		s.cores[i].ResetStats()
+		s.l1ds[i].ResetStats()
+		s.l1is[i].ResetStats()
+		s.l2s[i].ResetStats()
+	}
+	s.llc.ResetStats()
+	s.mem.ResetStats()
+}
+
+// Run executes warmup instructions per core (stats discarded), then
+// measures until every core has retired measure further instructions.
+// Cores that finish early keep executing (contending for shared
+// resources) until the last core finishes, as in the paper's
+// methodology.
+func (s *System) Run(warmup, measure uint64) (*Result, error) {
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles == 0 {
+		// A generous bound: no workload should average > 500
+		// cycles/instruction.
+		maxCycles = int64(warmup+measure)*500 + 1_000_000
+	}
+	deadline := s.cycle + maxCycles
+
+	// Warmup.
+	for !s.allRetired(warmup) {
+		if s.cycle >= deadline {
+			return nil, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
+		}
+		s.step()
+	}
+	s.resetStats()
+	start := s.cycle
+
+	finish := make([]int64, s.cfg.Cores)
+	done := 0
+	for done < s.cfg.Cores {
+		if s.cycle >= deadline {
+			return nil, fmt.Errorf("sim: measurement exceeded %d cycles (%d/%d cores finished)",
+				maxCycles, done, s.cfg.Cores)
+		}
+		s.step()
+		for i, c := range s.cores {
+			if finish[i] == 0 && c.Retired() >= measure {
+				finish[i] = s.cycle
+				done++
+			}
+		}
+	}
+
+	res := &Result{
+		Cores:         s.cfg.Cores,
+		Instructions:  measure,
+		CyclesPerCore: make([]int64, s.cfg.Cores),
+		IPC:           make([]float64, s.cfg.Cores),
+		LLC:           s.llc.Stats,
+		DRAM:          s.mem.Stats,
+	}
+	for i := range s.cores {
+		cyc := finish[i] - start
+		res.CyclesPerCore[i] = cyc
+		res.IPC[i] = float64(measure) / float64(cyc)
+		res.CoreStats = append(res.CoreStats, s.cores[i].Stats)
+		res.L1D = append(res.L1D, s.l1ds[i].Stats)
+		res.L1I = append(res.L1I, s.l1is[i].Stats)
+		res.L2 = append(res.L2, s.l2s[i].Stats)
+	}
+	return res, nil
+}
+
+func (s *System) allRetired(n uint64) bool {
+	for _, c := range s.cores {
+		if c.Retired() < n {
+			return false
+		}
+	}
+	return true
+}

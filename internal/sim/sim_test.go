@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+
+	"ipcp/internal/trace"
+	"ipcp/internal/workload"
+)
+
+func streamsFor(t *testing.T, names []string, seed int64) []trace.Stream {
+	t.Helper()
+	out := make([]trace.Stream, len(names))
+	for i, n := range names {
+		s, err := workload.Named(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = s.New(seed)
+	}
+	return out
+}
+
+func TestSingleCoreRun(t *testing.T) {
+	cfg := PaperConfig(1)
+	sys, err := Build(cfg, streamsFor(t, []string{"bwaves-2931"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(2000, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC[0] <= 0 || res.IPC[0] > float64(cfg.Core.Width) {
+		t.Errorf("IPC out of range: %f", res.IPC[0])
+	}
+	if res.L1D[0].DemandAccesses() == 0 {
+		t.Error("no demand accesses at L1D")
+	}
+	if res.L1D[0].DemandMisses() == 0 {
+		t.Error("streaming workload produced no L1D misses without prefetching")
+	}
+	if res.DRAM.Reads == 0 {
+		t.Error("no DRAM reads")
+	}
+	// Hierarchy sanity: L2 demand accesses cannot exceed L1 misses
+	// plus L1I misses (everything at L2 was missed above).
+	l1miss := res.L1D[0].DemandMisses() + res.L1I[0].DemandMisses()
+	if res.L2[0].DemandAccesses() > l1miss+10 {
+		t.Errorf("L2 demand accesses (%d) exceed upper-level misses (%d)",
+			res.L2[0].DemandAccesses(), l1miss)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() *Result {
+		cfg := PaperConfig(1)
+		sys, err := Build(cfg, streamsFor(t, []string{"mcf-1536"}, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(1000, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOnce(), runOnce()
+	if a.IPC[0] != b.IPC[0] {
+		t.Errorf("IPC not deterministic: %f vs %f", a.IPC[0], b.IPC[0])
+	}
+	if a.L1D[0] != b.L1D[0] {
+		t.Errorf("L1D stats not deterministic")
+	}
+	if a.DRAM != b.DRAM {
+		t.Errorf("DRAM stats not deterministic")
+	}
+}
+
+func TestComputeBoundHasHighIPCAndLowMPKI(t *testing.T) {
+	sys, err := Build(PaperConfig(1), streamsFor(t, []string{"exchange2-387"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm long enough to fault in the small hot footprint (one full
+	// sweep of the 96KB word-walk takes ~200k instructions); the
+	// measured region must then be nearly miss-free.
+	res, err := sys.Run(250000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpki := res.MPKI("LLC", 0); mpki > 1.0 {
+		t.Errorf("compute-bound LLC MPKI = %.2f, want < 1", mpki)
+	}
+	if res.IPC[0] < 1.0 {
+		t.Errorf("compute-bound IPC = %.2f, want > 1", res.IPC[0])
+	}
+}
+
+func TestMemoryIntensiveHasHighMPKI(t *testing.T) {
+	sys, err := Build(PaperConfig(1), streamsFor(t, []string{"mcf-994"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(2000, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpki := res.MPKI("LLC", 0); mpki < 1.0 {
+		t.Errorf("mcf-like LLC MPKI = %.2f, want >= 1", mpki)
+	}
+}
+
+func TestMultiCoreRun(t *testing.T) {
+	cfg := PaperConfig(2)
+	sys, err := Build(cfg, streamsFor(t, []string{"lbm-94", "omnetpp-17"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(1000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != 2 {
+		t.Fatalf("IPC entries = %d", len(res.IPC))
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 {
+			t.Errorf("core %d IPC = %f", i, ipc)
+		}
+	}
+	if res.LLC.DemandAccesses() == 0 {
+		t.Error("shared LLC saw no traffic")
+	}
+}
+
+func TestSharedLLCContention(t *testing.T) {
+	// A core co-running with a memory hog must be slower than the
+	// same core alone (shared LLC + DRAM contention).
+	alone, err := Build(PaperConfig(2), streamsFor(t, []string{"lbm-94", "exchange2-387"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := alone.Run(1000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended, err := Build(PaperConfig(2), streamsFor(t, []string{"lbm-94", "lbm-1004"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := contended.Run(1000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.IPC[0] >= ra.IPC[0] {
+		t.Errorf("no contention effect: with hog %.3f, with light partner %.3f",
+			rc.IPC[0], ra.IPC[0])
+	}
+}
+
+func TestPrefetcherSpecByName(t *testing.T) {
+	cfg := PaperConfig(1)
+	cfg.L1DPrefetcher = PrefetcherSpec{Name: "definitely-not-registered"}
+	_, err := Build(cfg, streamsFor(t, []string{"bwaves-98"}, 1))
+	if err == nil {
+		t.Fatal("unknown prefetcher accepted")
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	cfg := PaperConfig(1)
+	cfg.MaxCycles = 100 // absurdly small
+	sys, err := Build(cfg, streamsFor(t, []string{"mcf-994"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(1000, 1000); err == nil {
+		t.Fatal("deadline guard did not fire")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := PaperConfig(1)
+	cfg.Cores = 0
+	if _, err := Build(cfg, nil); err == nil {
+		t.Error("zero cores accepted")
+	}
+	cfg = PaperConfig(1)
+	if _, err := Build(cfg, nil); err == nil {
+		t.Error("stream count mismatch accepted")
+	}
+	cfg = PaperConfig(3) // 3*2048 sets is not a power of two
+	if _, err := Build(cfg, streamsFor(t, []string{"bwaves-98", "bwaves-98", "bwaves-98"}, 1)); err == nil {
+		t.Error("non-power-of-two LLC accepted")
+	}
+}
+
+func TestPaperConfigMatchesTableII(t *testing.T) {
+	cfg := PaperConfig(1)
+	if got := cfg.L1D.SizeBytes(); got != 48*1024 {
+		t.Errorf("L1D size = %d, want 48KB", got)
+	}
+	if got := cfg.L1I.SizeBytes(); got != 32*1024 {
+		t.Errorf("L1I size = %d, want 32KB", got)
+	}
+	if got := cfg.L2.SizeBytes(); got != 512*1024 {
+		t.Errorf("L2 size = %d, want 512KB", got)
+	}
+	if got := cfg.LLC.SizeBytes(); got != 2*1024*1024 {
+		t.Errorf("LLC size = %d, want 2MB/core", got)
+	}
+	if cfg.L1D.PQSize != 8 || cfg.L1D.MSHRs != 16 {
+		t.Error("L1D PQ/MSHR do not match Table II")
+	}
+	if cfg.L2.PQSize != 16 || cfg.L2.MSHRs != 32 {
+		t.Error("L2 PQ/MSHR do not match Table II")
+	}
+	if cfg.Core.ROBSize != 256 || cfg.Core.Width != 4 {
+		t.Error("core does not match Table II")
+	}
+	if PaperConfig(4).DRAM.Channels != 2 {
+		t.Error("multi-core DRAM must have 2 channels")
+	}
+}

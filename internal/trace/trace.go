@@ -1,0 +1,286 @@
+// Package trace defines the instruction trace record the simulator's
+// cores consume, the Stream interface that both trace files and
+// synthetic generators implement, and a compact binary file format for
+// persisting traces.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxLoads and MaxStores bound the memory operands a single instruction
+// may carry (ChampSim allows more; two loads and one store cover the
+// workloads we generate).
+const (
+	MaxLoads  = 2
+	MaxStores = 1
+)
+
+// Instr is one dynamic instruction. Zero addresses mean "no operand".
+type Instr struct {
+	IP     uint64
+	Loads  [MaxLoads]uint64
+	Stores [MaxStores]uint64
+
+	// DepPrev marks a load whose address depends on the data of the
+	// most recent earlier load (pointer chasing / indexed gathers).
+	// Dependent loads cannot issue until that load completes, which
+	// serializes the demand miss stream — the latency prefetchers
+	// exist to hide.
+	DepPrev bool
+
+	IsBranch bool
+	Taken    bool
+	Target   uint64
+}
+
+// HasMemory reports whether the instruction carries any memory operand.
+func (in *Instr) HasMemory() bool {
+	return in.Loads[0] != 0 || in.Stores[0] != 0
+}
+
+// Reset clears the record for reuse.
+func (in *Instr) Reset() {
+	*in = Instr{}
+}
+
+// Stream produces a sequence of instructions. Implementations must be
+// deterministic given their construction parameters so that multi-core
+// replay and "run alone" normalization see identical streams.
+type Stream interface {
+	// Next fills in with the next instruction and reports whether one
+	// was produced. Synthetic generators are typically infinite and
+	// always return true; file-backed streams return false at EOF.
+	Next(in *Instr) bool
+	// Reset rewinds the stream to its beginning.
+	Reset()
+}
+
+// --- Binary file format -------------------------------------------------
+//
+// Header:  magic "IPCPTRC1" (8 bytes), little-endian uint64 count
+//          (0 = unknown/streamed).
+// Record:  flags byte, then varint-style fields:
+//            bit0 IsBranch, bit1 Taken, bit2 has Target,
+//            bit3 has Loads[0], bit4 has Loads[1], bit5 has Stores[0],
+//            bit6 DepPrev.
+//          IP always present (8 bytes LE), each present operand 8 bytes.
+
+var magic = [8]byte{'I', 'P', 'C', 'P', 'T', 'R', 'C', '1'}
+
+// ErrBadMagic is returned when a trace file does not start with the
+// expected header.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Writer serializes instructions to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewWriter writes a header and returns a Writer. The count in the
+// header is written as 0 (streamed).
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	var cnt [8]byte
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction record.
+func (w *Writer) Write(in *Instr) error {
+	var flags byte
+	if in.IsBranch {
+		flags |= 1
+	}
+	if in.Taken {
+		flags |= 2
+	}
+	if in.Target != 0 {
+		flags |= 4
+	}
+	if in.Loads[0] != 0 {
+		flags |= 8
+	}
+	if in.Loads[1] != 0 {
+		flags |= 16
+	}
+	if in.Stores[0] != 0 {
+		flags |= 32
+	}
+	if in.DepPrev {
+		flags |= 64
+	}
+	buf := make([]byte, 1, 1+8*5)
+	buf[0] = flags
+	buf = binary.LittleEndian.AppendUint64(buf, in.IP)
+	if flags&4 != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, in.Target)
+	}
+	if flags&8 != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, in.Loads[0])
+	}
+	if flags&16 != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, in.Loads[1])
+	}
+	if flags&32 != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, in.Stores[0])
+	}
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Reader deserializes instructions from an io.Reader.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read fills in with the next record. It returns io.EOF at end of
+// trace.
+func (r *Reader) Read(in *Instr) error {
+	if r.err != nil {
+		return r.err
+	}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		r.err = err
+		return err
+	}
+	in.Reset()
+	in.IsBranch = flags&1 != 0
+	in.Taken = flags&2 != 0
+	in.DepPrev = flags&64 != 0
+	read64 := func() uint64 {
+		var b [8]byte
+		if _, e := io.ReadFull(r.r, b[:]); e != nil {
+			if err == nil {
+				err = e
+			}
+			return 0
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	in.IP = read64()
+	if flags&4 != 0 {
+		in.Target = read64()
+	}
+	if flags&8 != 0 {
+		in.Loads[0] = read64()
+	}
+	if flags&16 != 0 {
+		in.Loads[1] = read64()
+	}
+	if flags&32 != 0 {
+		in.Stores[0] = read64()
+	}
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		r.err = err
+		return err
+	}
+	return nil
+}
+
+// SliceStream adapts an in-memory instruction slice to the Stream
+// interface, replaying it in a loop when Loop is set.
+type SliceStream struct {
+	Instrs []Instr
+	Loop   bool
+	pos    int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(in *Instr) bool {
+	if s.pos >= len(s.Instrs) {
+		if !s.Loop || len(s.Instrs) == 0 {
+			return false
+		}
+		s.pos = 0
+	}
+	*in = s.Instrs[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset implements Stream.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Collect drains up to n instructions from a stream into a slice
+// (useful for tests and for writing trace files from generators).
+func Collect(s Stream, n int) []Instr {
+	out := make([]Instr, 0, n)
+	var in Instr
+	for len(out) < n && s.Next(&in) {
+		out = append(out, in)
+	}
+	return out
+}
+
+// StreamFunc adapts a pair of functions to the Stream interface
+// (probing/wrapping streams in tests and tools).
+type StreamFunc struct {
+	NextFn  func(*Instr) bool
+	ResetFn func()
+}
+
+// Next implements Stream.
+func (s StreamFunc) Next(in *Instr) bool { return s.NextFn(in) }
+
+// Reset implements Stream.
+func (s StreamFunc) Reset() { s.ResetFn() }
+
+// ReadAll deserializes an entire trace into memory and returns a
+// looping SliceStream over it, so recorded traces plug into the
+// simulator exactly like synthetic generators.
+func ReadAll(r io.Reader) (*SliceStream, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Instr
+	for {
+		var in Instr
+		if err := tr.Read(&in); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		out = append(out, in)
+	}
+	return &SliceStream{Instrs: out, Loop: true}, nil
+}

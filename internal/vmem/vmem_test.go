@@ -1,0 +1,168 @@
+package vmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipcp/internal/memsys"
+)
+
+func TestTranslateStable(t *testing.T) {
+	pt := NewPageTable(NewPhysAllocator(1))
+	a := pt.Translate(0x1234)
+	b := pt.Translate(0x1234)
+	if a != b {
+		t.Fatalf("translation not stable: %#x vs %#x", a, b)
+	}
+	if a&(memsys.PageSize-1) != 0x234 {
+		t.Errorf("page offset not preserved: %#x", a)
+	}
+}
+
+func TestTranslateDistinctPages(t *testing.T) {
+	pt := NewPageTable(NewPhysAllocator(1))
+	seen := make(map[uint64]uint64)
+	for v := uint64(0); v < 200; v++ {
+		p := pt.Translate(v << memsys.PageBits)
+		pp := memsys.PageNumber(p)
+		if prev, dup := seen[pp]; dup {
+			t.Fatalf("physical page %d mapped twice (vpages %d and %d)", pp, prev, v)
+		}
+		seen[pp] = v
+	}
+	if pt.Mapped() != 200 {
+		t.Errorf("Mapped = %d, want 200", pt.Mapped())
+	}
+}
+
+func TestTranslateBijectionProperty(t *testing.T) {
+	pt := NewPageTable(NewPhysAllocator(42))
+	fwd := make(map[uint64]uint64)
+	rev := make(map[uint64]uint64)
+	f := func(v uint64) bool {
+		vp := memsys.PageNumber(v)
+		pp := memsys.PageNumber(pt.Translate(v))
+		if prev, ok := fwd[vp]; ok && prev != pp {
+			return false // mapping changed
+		}
+		if prev, ok := rev[pp]; ok && prev != vp {
+			return false // two vpages share a frame
+		}
+		fwd[vp], rev[pp] = pp, vp
+		// offset preservation
+		return pt.Translate(v)&(memsys.PageSize-1) == v&(memsys.PageSize-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateExisting(t *testing.T) {
+	pt := NewPageTable(NewPhysAllocator(1))
+	if _, ok := pt.TranslateExisting(0x5000); ok {
+		t.Fatal("unmapped page reported as existing")
+	}
+	want := pt.Translate(0x5000)
+	got, ok := pt.TranslateExisting(0x5abc)
+	if !ok {
+		t.Fatal("mapped page reported as missing")
+	}
+	if memsys.PageNumber(got) != memsys.PageNumber(want) {
+		t.Errorf("TranslateExisting frame mismatch")
+	}
+	if pt.Mapped() != 1 {
+		t.Errorf("TranslateExisting must not allocate, Mapped = %d", pt.Mapped())
+	}
+}
+
+func TestAllocatorUnique(t *testing.T) {
+	a := NewPhysAllocator(3)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		p := a.Alloc()
+		if seen[p] {
+			t.Fatalf("frame %d allocated twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestAllocatorDeterministic(t *testing.T) {
+	a, b := NewPhysAllocator(9), NewPhysAllocator(9)
+	for i := 0; i < 500; i++ {
+		if x, y := a.Alloc(), b.Alloc(); x != y {
+			t.Fatalf("allocation %d differs: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(4, 2)
+	if tlb.Lookup(100) {
+		t.Error("first lookup must miss")
+	}
+	if !tlb.Lookup(100) {
+		t.Error("second lookup must hit")
+	}
+	if tlb.Hits != 1 || tlb.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(1, 2) // single set, 2 ways
+	tlb.Lookup(1)       // miss, insert
+	tlb.Lookup(2)       // miss, insert
+	tlb.Lookup(1)       // hit; 2 becomes LRU
+	tlb.Lookup(3)       // miss, evicts 2
+	if !tlb.Lookup(1) {
+		t.Error("1 should still be resident")
+	}
+	if tlb.Lookup(2) {
+		t.Error("2 should have been evicted")
+	}
+}
+
+func TestTLBGeometryValidation(t *testing.T) {
+	for _, bad := range []struct{ sets, ways int }{{0, 2}, {3, 2}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTLB(%d,%d) did not panic", bad.sets, bad.ways)
+				}
+			}()
+			NewTLB(bad.sets, bad.ways)
+		}()
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy()
+	v := memsys.Addr(0x7000_0000)
+	// Cold: full walk.
+	if got := h.AccessLatency(v); got != h.STLBLatency+h.WalkLatency {
+		t.Errorf("cold access latency = %d", got)
+	}
+	// Warm: DTLB hit.
+	if got := h.AccessLatency(v); got != 0 {
+		t.Errorf("warm access latency = %d", got)
+	}
+	if h.DTLB.Size() != 64 || h.STLB.Size() != 1536 {
+		t.Errorf("TLB sizes = %d/%d, want 64/1536", h.DTLB.Size(), h.STLB.Size())
+	}
+}
+
+func TestHierarchySTLBHit(t *testing.T) {
+	h := NewHierarchy()
+	// Touch enough pages mapping to the same DTLB set to evict the
+	// first from the DTLB but keep it in the larger STLB.
+	base := uint64(0x100)
+	h.AccessLatency(memsys.Addr(base << memsys.PageBits))
+	for i := 1; i <= 8; i++ {
+		// Same DTLB set (16 sets): stride of 16 pages.
+		h.AccessLatency(memsys.Addr((base + uint64(i)*16) << memsys.PageBits))
+	}
+	if got := h.AccessLatency(memsys.Addr(base << memsys.PageBits)); got != h.STLBLatency {
+		t.Errorf("expected STLB-hit latency %d, got %d", h.STLBLatency, got)
+	}
+}

@@ -1,0 +1,53 @@
+package workload
+
+import "ipcp/internal/trace"
+
+// cloudStream builds a server-like workload: a loop body far larger
+// than the L1-I (so the front-end misses), mostly irregular data
+// accesses with a modest temporal set, and occasional short streams —
+// the mix for which spatial prefetchers barely help (paper §VI-D,
+// Fig. 14a).
+func cloudStream(codeBlocks, memEvery, dwell int, dataSrc func() source) func(int64) trace.Stream {
+	return func(seed int64) trace.Stream {
+		g := newGen(seed, memEvery, 13, 0.15)
+		g.codeBlocks = codeBlocks
+		g.dwell = dwell
+		g.takenBias = 0.15
+		g.depFrac = 0.5 // server code chases objects and indirections
+		g.src = dataSrc()
+		return g
+	}
+}
+
+func cloud(name string, newStream func(int64) trace.Stream) {
+	register(Spec{
+		Name: name, Benchmark: "cloudsuite/" + name, Class: ClassCloud,
+		MemIntensive: true, Suite: "cloud", newStream: newStream,
+	})
+}
+
+func init() {
+	cloud("cassandra", cloudStream(2048, 4, 3, func() source {
+		return newMixSource(
+			[]source{newIrregularSource(64*MB, 0.4), newGSSource(8*MB, +1, 0.85, 4)},
+			[]int{3, 1})
+	}))
+	cloud("classification", cloudStream(3072, 4, 3, func() source {
+		return newIrregularSource(96*MB, 0.3)
+	}))
+	cloud("cloud9", cloudStream(1536, 5, 3, func() source {
+		return newMixSource(
+			[]source{newIrregularSource(48*MB, 0.45), newStrideSource([]int{1}, 8*MB)},
+			[]int{3, 1})
+	}))
+	cloud("nutch", cloudStream(2048, 5, 3, func() source {
+		return newMixSource(
+			[]source{newIrregularSource(64*MB, 0.5), newHotSource(512 * 1024)},
+			[]int{2, 1})
+	}))
+	cloud("streaming", cloudStream(1024, 4, 4, func() source {
+		return newMixSource(
+			[]source{newGSSource(32*MB, +1, 0.9, 3), newIrregularSource(32*MB, 0.4)},
+			[]int{2, 2})
+	}))
+}

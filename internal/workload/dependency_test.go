@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"testing"
+
+	"ipcp/internal/memsys"
+	"ipcp/internal/trace"
+)
+
+func TestPerIPStrideStability(t *testing.T) {
+	// Every load site of a stride workload must observe ONE constant
+	// block delta across loop iterations — the property per-IP
+	// classifiers rely on.
+	s, _ := Named("bwaves-2931")
+	st := s.New(1)
+	var in trace.Instr
+	last := map[uint64]uint64{}
+	deltas := map[uint64]map[int64]int{}
+	for i := 0; i < 150000; i++ {
+		st.Next(&in)
+		a := in.Loads[0]
+		if a == 0 {
+			a = in.Stores[0]
+		}
+		if a == 0 {
+			continue
+		}
+		b := memsys.BlockNumber(a)
+		if lb, ok := last[in.IP]; ok && b != lb {
+			if deltas[in.IP] == nil {
+				deltas[in.IP] = map[int64]int{}
+			}
+			deltas[in.IP][int64(b)-int64(lb)]++
+		}
+		last[in.IP] = b
+	}
+	if len(deltas) < 30 {
+		t.Fatalf("only %d load sites observed", len(deltas))
+	}
+	for ip, d := range deltas {
+		// Allow the footprint-wrap delta as a rare second value.
+		if len(d) > 2 {
+			t.Errorf("IP %#x sees %d distinct deltas: %v", ip, len(d), d)
+		}
+	}
+}
+
+func TestDepPrevEmissionRate(t *testing.T) {
+	s, _ := Named("bwaves-2931")
+	st := s.New(1)
+	SetDepFrac(st, 0.5)
+	var in trace.Instr
+	deps, loads := 0, 0
+	for i := 0; i < 100000; i++ {
+		st.Next(&in)
+		if in.Loads[0] != 0 {
+			loads++
+			if in.DepPrev {
+				deps++
+			}
+		}
+	}
+	frac := float64(deps) / float64(loads)
+	// All dwell accesses of a dependent line are flagged, so the load
+	// fraction tracks the line fraction (~0.5) closely.
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("dependent-load fraction = %.2f, want ~0.5", frac)
+	}
+}
+
+func TestDepPrevChains(t *testing.T) {
+	// Dependencies must arrive in Markov chains, not i.i.d.: the
+	// number of state transitions must be far below the independent
+	// expectation.
+	s, _ := Named("bwaves-2931")
+	st := s.New(1)
+	SetDepFrac(st, 0.5)
+	var in trace.Instr
+	var states []bool
+	lastLine := uint64(0)
+	for i := 0; i < 200000; i++ {
+		st.Next(&in)
+		a := in.Loads[0]
+		if a == 0 {
+			continue
+		}
+		line := memsys.BlockNumber(a)
+		if line != lastLine {
+			states = append(states, in.DepPrev)
+			lastLine = line
+		}
+	}
+	trans := 0
+	for i := 1; i < len(states); i++ {
+		if states[i] != states[i-1] {
+			trans++
+		}
+	}
+	rate := float64(trans) / float64(len(states))
+	// i.i.d. p=0.5 would flip ~50% of the time; stickiness 0.75 gives
+	// ~25%.
+	if rate > 0.4 {
+		t.Errorf("dependency transition rate %.2f — not chained", rate)
+	}
+}
+
+func TestSetDepFracZeroDisables(t *testing.T) {
+	s, _ := Named("mcf-994") // high default depFrac
+	st := s.New(1)
+	SetDepFrac(st, 0)
+	var in trace.Instr
+	for i := 0; i < 50000; i++ {
+		st.Next(&in)
+		if in.DepPrev {
+			t.Fatal("DepPrev emitted with depFrac 0")
+		}
+	}
+}
+
+func TestIrregularWorkloadsAreHighlyDependent(t *testing.T) {
+	s, _ := Named("omnetpp-874")
+	st := s.New(1)
+	var in trace.Instr
+	deps, loads := 0, 0
+	for i := 0; i < 100000; i++ {
+		st.Next(&in)
+		if in.Loads[0] != 0 {
+			loads++
+			if in.DepPrev {
+				deps++
+			}
+		}
+	}
+	if frac := float64(deps) / float64(loads); frac < 0.5 {
+		t.Errorf("omnetpp dependent fraction = %.2f, want pointer-chase-like (>0.5)", frac)
+	}
+}
+
+func TestStrideWorkloadsAreMostlyIndependent(t *testing.T) {
+	s, _ := Named("bwaves-98")
+	st := s.New(1)
+	var in trace.Instr
+	deps, loads := 0, 0
+	for i := 0; i < 100000; i++ {
+		st.Next(&in)
+		if in.Loads[0] != 0 {
+			loads++
+			if in.DepPrev {
+				deps++
+			}
+		}
+	}
+	if frac := float64(deps) / float64(loads); frac > 0.3 {
+		t.Errorf("bwaves dependent fraction = %.2f, want index-driven (<0.3)", frac)
+	}
+}

@@ -1,0 +1,61 @@
+package workload
+
+import "ipcp/internal/trace"
+
+// nnStream models inference kernels: convolution/GEMM loops streaming
+// weight and activation tensors — overwhelmingly dense and streaming,
+// which is why IPCP's GS class dominates on these (paper Fig. 14b).
+func nnStream(memEvery, dwell int, storeFrac float64, srcf func() source) func(int64) trace.Stream {
+	return func(seed int64) trace.Stream {
+		g := newGen(seed, memEvery, 32, storeFrac)
+		g.dwell = dwell
+		g.takenBias = 0.05
+		g.depFrac = 0.05 // dense kernels: address streams are index-driven
+		g.src = srcf()
+		return g
+	}
+}
+
+func nn(name string, newStream func(int64) trace.Stream) {
+	register(Spec{
+		Name: name, Benchmark: "nn/" + name, Class: ClassNN,
+		MemIntensive: true, Suite: "nn", newStream: newStream,
+	})
+}
+
+func init() {
+	// Convolution-style: stream input feature maps plus a strided
+	// window walk.
+	nn("cifar10", nnStream(3, 12, 0.15, func() source {
+		return newMixSource(
+			[]source{newGSSource(24*MB, +1, 0.96, 2), newStrideSource([]int{2, 2}, 16*MB)},
+			[]int{3, 1})
+	}))
+	nn("lstm", nnStream(3, 12, 0.1, func() source {
+		// Recurrent weight-matrix streaming: long unit-stride sweeps.
+		return newStrideSource([]int{1, 1, 1}, 48*MB)
+	}))
+	nn("nin", nnStream(3, 12, 0.15, func() source {
+		return newMixSource(
+			[]source{newGSSource(32*MB, +1, 0.95, 3), newCplxSource([][]int{{1, 1, 2}}, 16*MB)},
+			[]int{3, 1})
+	}))
+	nn("resnet50", nnStream(3, 12, 0.12, func() source {
+		return newMixSource(
+			[]source{newGSSource(48*MB, +1, 0.97, 2), newStrideSource([]int{1, 4}, 32*MB)},
+			[]int{4, 1})
+	}))
+	nn("squeezenet", nnStream(3, 10, 0.12, func() source {
+		return newMixSource(
+			[]source{newGSSource(16*MB, +1, 0.94, 3), newStrideSource([]int{1}, 16*MB)},
+			[]int{2, 1})
+	}))
+	nn("vgg19", nnStream(3, 12, 0.15, func() source {
+		return newGSSource(64*MB, +1, 0.98, 2)
+	}))
+	nn("vggm", nnStream(3, 12, 0.15, func() source {
+		return newMixSource(
+			[]source{newGSSource(48*MB, +1, 0.96, 3), newStrideSource([]int{2}, 24*MB)},
+			[]int{3, 1})
+	}))
+}

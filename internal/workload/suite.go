@@ -1,0 +1,302 @@
+package workload
+
+import "ipcp/internal/trace"
+
+// genParams configures the loop-shaped instruction stream around a
+// source. The L1 miss intensity of a miss-every-line pattern is about
+// 1000/(memEvery*dwell) MPKI.
+type genParams struct {
+	memEvery   int
+	dwell      int
+	codeBlocks int // loop body size in I-cache blocks (16 instrs each)
+	storeFrac  float64
+	// depFrac serializes the demand miss stream (see gen.depFrac).
+	depFrac float64
+}
+
+// build turns params + a source factory into a Spec.New function; a
+// fresh generator and source per instantiation so concurrent systems
+// never share state.
+func build(p genParams, srcf func() source) func(int64) trace.Stream {
+	if p.dwell <= 0 {
+		p.dwell = 1
+	}
+	if p.codeBlocks <= 0 {
+		p.codeBlocks = 8
+	}
+	return func(seed int64) trace.Stream {
+		g := newGen(seed, p.memEvery, 16, p.storeFrac)
+		g.dwell = p.dwell
+		g.codeBlocks = p.codeBlocks
+		g.depFrac = p.depFrac
+		g.src = srcf()
+		return g
+	}
+}
+
+// spec registers one SPEC-like workload.
+func spec(name, benchmark string, class Class, memIntensive bool, newStream func(int64) trace.Stream) {
+	register(Spec{
+		Name: name, Benchmark: benchmark, Class: class,
+		MemIntensive: memIntensive, Suite: "spec", newStream: newStream,
+	})
+}
+
+func init() {
+	// --- constant-stride scientific codes (CS class territory) ---
+	spec("bwaves-98", "603.bwaves_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 16, storeFrac: 0.05, depFrac: 0.10},
+			func() source { return newStrideSource([]int{3, 3, 1, 2}, 48*MB) }))
+	spec("bwaves-1740", "603.bwaves_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 12, storeFrac: 0.05, depFrac: 0.10},
+			func() source { return newStrideSource([]int{3, 5, 2}, 64*MB) }))
+	spec("bwaves-2931", "603.bwaves_s", ClassStride, true,
+		build(genParams{memEvery: 3, dwell: 16, storeFrac: 0.05, depFrac: 0.08},
+			func() source { return newStrideSource([]int{3}, 64*MB) }))
+	spec("nab-34", "644.nab_s", ClassStride, true,
+		build(genParams{memEvery: 5, dwell: 12, storeFrac: 0.1, depFrac: 0.15},
+			func() source { return newStrideSource([]int{1, 2}, 24*MB) }))
+	spec("fotonik3d-7084", "649.fotonik3d_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 16, storeFrac: 0.08, depFrac: 0.12},
+			func() source { return newStrideSource([]int{1, 1, 1, 2}, 64*MB) }))
+	spec("fotonik3d-1176", "649.fotonik3d_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 12, storeFrac: 0.08, depFrac: 0.12},
+			func() source {
+				return newMixSource(
+					[]source{newStrideSource([]int{1, 1}, 64*MB), newGSSource(32*MB, +1, 0.95, 2)},
+					[]int{2, 1})
+			}))
+	spec("wrf-6673", "621.wrf_s", ClassStride, true,
+		build(genParams{memEvery: 5, dwell: 12, storeFrac: 0.1, depFrac: 0.12},
+			func() source { return newStrideSource([]int{1, 1, 1, 1, 2, 2}, 32*MB) }))
+	spec("cam4-490", "627.cam4_s", ClassStride, true,
+		build(genParams{memEvery: 5, dwell: 10, storeFrac: 0.1, depFrac: 0.15},
+			func() source { return newStrideSource([]int{2, 4, 1}, 32*MB) }))
+	spec("roms-1070", "654.roms_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 12, storeFrac: 0.12, depFrac: 0.12},
+			func() source { return newStrideSource([]int{1, 2, 1}, 48*MB) }))
+	spec("roms-1390", "654.roms_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 12, storeFrac: 0.12, depFrac: 0.12},
+			func() source {
+				return newMixSource(
+					[]source{newStrideSource([]int{1, 3}, 48*MB), newCplxSource([][]int{{2, 2, 3}}, 32*MB)},
+					[]int{3, 1})
+			}))
+
+	// --- streaming codes (GS class territory) ---
+	spec("lbm-94", "619.lbm_s", ClassStream, true,
+		build(genParams{memEvery: 3, dwell: 12, storeFrac: 0.25, depFrac: 0.12},
+			func() source { return newGSSource(64*MB, +1, 0.97, 3) }))
+	spec("lbm-1004", "619.lbm_s", ClassStream, true,
+		build(genParams{memEvery: 3, dwell: 12, storeFrac: 0.25, depFrac: 0.12},
+			func() source { return newGSSource(64*MB, +1, 0.92, 4) }))
+	spec("gcc-2226", "602.gcc_s", ClassStream, true,
+		build(genParams{memEvery: 3, dwell: 12, storeFrac: 0.1, depFrac: 0.15},
+			func() source { return newGSSource(64*MB, +1, 0.99, 3) }))
+	spec("gcc-1850", "602.gcc_s", ClassStream, true,
+		build(genParams{memEvery: 4, dwell: 10, storeFrac: 0.1, depFrac: 0.18},
+			func() source {
+				return newMixSource(
+					[]source{newGSSource(48*MB, +1, 0.9, 3), newIrregularSource(16*MB, 0.3)},
+					[]int{4, 1})
+			}))
+	spec("pop2-17", "628.pop2_s", ClassStream, true,
+		build(genParams{memEvery: 4, dwell: 10, storeFrac: 0.15, depFrac: 0.15},
+			func() source {
+				return newMixSource(
+					[]source{newGSSource(32*MB, -1, 0.9, 3), newStrideSource([]int{1, 2}, 32*MB)},
+					[]int{2, 2})
+			}))
+	spec("imagick-796", "638.imagick_s", ClassStream, false,
+		build(genParams{memEvery: 6, dwell: 6, storeFrac: 0.2, depFrac: 0.15},
+			func() source { return newGSSource(16*MB, +1, 0.95, 2) }))
+
+	// --- complex-stride codes (CPLX class territory) ---
+	spec("mcf-1152", "605.mcf_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 10, storeFrac: 0.05, depFrac: 0.20},
+			func() source { return newStrideSource([]int{2, 6}, 48*MB) }))
+	spec("mcf-1536", "605.mcf_s", ClassComplex, true,
+		build(genParams{memEvery: 4, dwell: 6, storeFrac: 0.05, depFrac: 0.45},
+			func() source {
+				return newMixSource(
+					[]source{newCplxSource([][]int{{1, 2}, {3, 3, 4}}, 48*MB), newIrregularSource(96*MB, 0.2)},
+					[]int{2, 1})
+			}))
+	spec("mcf-994", "605.mcf_s", ClassIrregular, true,
+		build(genParams{memEvery: 4, dwell: 2, storeFrac: 0.05, depFrac: 0.75},
+			func() source { return newIrregularSource(128*MB, 0.15) }))
+	spec("mcf-1554", "605.mcf_s", ClassMixed, true,
+		build(genParams{memEvery: 4, dwell: 6, storeFrac: 0.05, depFrac: 0.40},
+			func() source {
+				return newPhaseSource(20000,
+					newStrideSource([]int{2}, 32*MB),
+					newIrregularSource(96*MB, 0.2),
+					newCplxSource([][]int{{1, 2}}, 32*MB))
+			}))
+	spec("x264-12", "625.x264_s", ClassComplex, true,
+		build(genParams{memEvery: 5, dwell: 8, storeFrac: 0.15, depFrac: 0.20},
+			func() source { return newCplxSource([][]int{{1, 1, 2}, {2, 3}}, 24*MB) }))
+	spec("parest-12", "510.parest_r", ClassComplex, true,
+		build(genParams{memEvery: 5, dwell: 8, storeFrac: 0.1, depFrac: 0.20},
+			func() source {
+				return newMixSource(
+					[]source{newCplxSource([][]int{{3, 3, 4}}, 32*MB), newStrideSource([]int{1}, 16*MB)},
+					[]int{2, 1})
+			}))
+	spec("cactuBSSN-2421", "607.cactuBSSN_s", ClassStride, true,
+		build(genParams{memEvery: 3, dwell: 6, codeBlocks: 32, storeFrac: 0.1, depFrac: 0.15},
+			func() source { return newManyIPSource(256, 64*MB, 2) }))
+	spec("cactuBSSN-3477", "607.cactuBSSN_s", ClassStride, true,
+		build(genParams{memEvery: 3, dwell: 6, codeBlocks: 40, storeFrac: 0.1, depFrac: 0.15},
+			func() source { return newManyIPSource(256, 64*MB, 1) }))
+
+	// --- irregular codes (prefetch-resistant) ---
+	spec("omnetpp-17", "620.omnetpp_s", ClassIrregular, true,
+		build(genParams{memEvery: 5, dwell: 2, storeFrac: 0.1, depFrac: 0.70},
+			func() source { return newIrregularSource(96*MB, 0.35) }))
+	spec("omnetpp-874", "620.omnetpp_s", ClassIrregular, true,
+		build(genParams{memEvery: 4, dwell: 2, storeFrac: 0.1, depFrac: 0.75},
+			func() source { return newIrregularSource(128*MB, 0.25) }))
+	spec("xalancbmk-165", "623.xalancbmk_s", ClassIrregular, true,
+		build(genParams{memEvery: 5, dwell: 6, storeFrac: 0.1, depFrac: 0.55},
+			func() source {
+				return newMixSource(
+					[]source{newIrregularSource(48*MB, 0.5), newHotSource(256 * 1024)},
+					[]int{1, 2})
+			}))
+	spec("xz-3167", "657.xz_s", ClassMixed, true,
+		build(genParams{memEvery: 4, dwell: 8, storeFrac: 0.2, depFrac: 0.30},
+			func() source {
+				return newPhaseSource(30000,
+					newGSSource(32*MB, +1, 0.9, 4),
+					newIrregularSource(64*MB, 0.3))
+			}))
+	spec("xz-2302", "657.xz_s", ClassMixed, true,
+		build(genParams{memEvery: 5, dwell: 8, storeFrac: 0.2, depFrac: 0.35},
+			func() source {
+				return newMixSource(
+					[]source{newStrideSource([]int{1}, 32*MB), newIrregularSource(64*MB, 0.3)},
+					[]int{1, 1})
+			}))
+	spec("blender-1024", "526.blender_r", ClassMixed, true,
+		build(genParams{memEvery: 5, dwell: 8, storeFrac: 0.1, depFrac: 0.25},
+			func() source {
+				return newMixSource(
+					[]source{newStrideSource([]int{1, 2}, 32*MB), newIrregularSource(32*MB, 0.4)},
+					[]int{2, 1})
+			}))
+
+	// --- compute-bound / low-MPKI (full-suite dilution) ---
+	spec("exchange2-387", "648.exchange2_s", ClassCompute, false,
+		build(genParams{memEvery: 16, dwell: 1, storeFrac: 0.05, depFrac: 0.30},
+			func() source { return newHotSource(96 * 1024) }))
+	spec("leela-1083", "641.leela_s", ClassCompute, false,
+		build(genParams{memEvery: 12, dwell: 1, storeFrac: 0.05, depFrac: 0.30},
+			func() source { return newHotSource(128 * 1024) }))
+	spec("deepsjeng-1164", "631.deepsjeng_s", ClassCompute, false,
+		build(genParams{memEvery: 10, dwell: 1, storeFrac: 0.05, depFrac: 0.35},
+			func() source {
+				return newMixSource(
+					[]source{newHotSource(192 * 1024), newIrregularSource(8*MB, 0.5)},
+					[]int{5, 1})
+			}))
+	spec("povray-800", "511.povray_r", ClassCompute, false,
+		build(genParams{memEvery: 14, dwell: 1, storeFrac: 0.05, depFrac: 0.30},
+			func() source { return newHotSource(64 * 1024) }))
+	spec("perlbench-105", "600.perlbench_s", ClassCompute, false,
+		build(genParams{memEvery: 8, dwell: 2, storeFrac: 0.1, depFrac: 0.45},
+			func() source {
+				return newMixSource(
+					[]source{newHotSource(256 * 1024), newIrregularSource(4*MB, 0.5)},
+					[]int{4, 1})
+			}))
+	spec("gcc-734", "602.gcc_s", ClassCompute, false,
+		build(genParams{memEvery: 8, dwell: 2, storeFrac: 0.1, depFrac: 0.35},
+			func() source {
+				return newMixSource(
+					[]source{newHotSource(256 * 1024), newStrideSource([]int{1}, 8*MB)},
+					[]int{3, 1})
+			}))
+	spec("xalancbmk-700", "623.xalancbmk_s", ClassCompute, false,
+		build(genParams{memEvery: 10, dwell: 1, storeFrac: 0.1, depFrac: 0.40},
+			func() source { return newHotSource(384 * 1024) }))
+}
+
+// Additional trace points: like DPC-3's multiple sim-points per
+// benchmark, these sample other phases/parameter mixes of the same
+// programs, growing the memory-intensive set toward the paper's 46.
+func init() {
+	spec("bwaves-1861", "603.bwaves_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 12, storeFrac: 0.05, depFrac: 0.10},
+			func() source { return newStrideSource([]int{2, 3, 3, 1, 5}, 56*MB) }))
+	spec("lbm-2677", "619.lbm_s", ClassStream, true,
+		build(genParams{memEvery: 3, dwell: 10, storeFrac: 0.3, depFrac: 0.12},
+			func() source { return newGSSource(48*MB, +1, 0.95, 5) }))
+	spec("mcf-484", "605.mcf_s", ClassIrregular, true,
+		build(genParams{memEvery: 5, dwell: 3, storeFrac: 0.05, depFrac: 0.65},
+			func() source {
+				return newMixSource(
+					[]source{newIrregularSource(96*MB, 0.3), newStrideSource([]int{1}, 16*MB)},
+					[]int{3, 1})
+			}))
+	spec("fotonik3d-8225", "649.fotonik3d_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 14, storeFrac: 0.08, depFrac: 0.12},
+			func() source { return newStrideSource([]int{1, 2, 1, 1}, 48*MB) }))
+	spec("roms-294", "654.roms_s", ClassStride, true,
+		build(genParams{memEvery: 4, dwell: 10, storeFrac: 0.12, depFrac: 0.12},
+			func() source {
+				return newMixSource(
+					[]source{newStrideSource([]int{2, 2}, 40*MB), newGSSource(24*MB, +1, 0.92, 3)},
+					[]int{2, 1})
+			}))
+	spec("wrf-8065", "621.wrf_s", ClassStride, true,
+		build(genParams{memEvery: 5, dwell: 10, storeFrac: 0.1, depFrac: 0.15},
+			func() source { return newStrideSource([]int{1, 1, 3, 2}, 40*MB) }))
+	spec("cam4-1905", "627.cam4_s", ClassMixed, true,
+		build(genParams{memEvery: 5, dwell: 8, storeFrac: 0.1, depFrac: 0.2},
+			func() source {
+				return newPhaseSource(25000,
+					newStrideSource([]int{2, 4}, 32*MB),
+					newGSSource(16*MB, +1, 0.9, 3))
+			}))
+	spec("pop2-562", "628.pop2_s", ClassStream, true,
+		build(genParams{memEvery: 4, dwell: 10, storeFrac: 0.15, depFrac: 0.15},
+			func() source { return newGSSource(40*MB, -1, 0.93, 3) }))
+	spec("omnetpp-340", "620.omnetpp_s", ClassIrregular, true,
+		build(genParams{memEvery: 5, dwell: 2, storeFrac: 0.1, depFrac: 0.6},
+			func() source {
+				return newMixSource(
+					[]source{newIrregularSource(64*MB, 0.4), newHotSource(384 * 1024)},
+					[]int{2, 1})
+			}))
+	spec("xz-667", "657.xz_s", ClassMixed, true,
+		build(genParams{memEvery: 5, dwell: 6, storeFrac: 0.2, depFrac: 0.3},
+			func() source {
+				return newPhaseSource(40000,
+					newStrideSource([]int{1, 1}, 24*MB),
+					newIrregularSource(48*MB, 0.35))
+			}))
+	spec("x264-39", "625.x264_s", ClassComplex, true,
+		build(genParams{memEvery: 5, dwell: 8, storeFrac: 0.15, depFrac: 0.2},
+			func() source { return newCplxSource([][]int{{2, 2, 3}, {1, 2}}, 20*MB) }))
+	spec("parest-1285", "510.parest_r", ClassComplex, true,
+		build(genParams{memEvery: 5, dwell: 8, storeFrac: 0.1, depFrac: 0.25},
+			func() source {
+				return newMixSource(
+					[]source{newCplxSource([][]int{{1, 2}}, 24*MB), newIrregularSource(24*MB, 0.3)},
+					[]int{2, 1})
+			}))
+	spec("gcc-56", "602.gcc_s", ClassStream, true,
+		build(genParams{memEvery: 4, dwell: 10, storeFrac: 0.1, depFrac: 0.18},
+			func() source { return newGSSource(32*MB, +1, 0.97, 2) }))
+	spec("blender-981", "526.blender_r", ClassMixed, true,
+		build(genParams{memEvery: 5, dwell: 8, storeFrac: 0.1, depFrac: 0.22},
+			func() source {
+				return newMixSource(
+					[]source{newGSSource(16*MB, +1, 0.9, 4), newIrregularSource(24*MB, 0.45)},
+					[]int{1, 1})
+			}))
+	spec("nab-7994", "644.nab_s", ClassStride, true,
+		build(genParams{memEvery: 5, dwell: 12, storeFrac: 0.1, depFrac: 0.15},
+			func() source { return newStrideSource([]int{3, 1}, 20*MB) }))
+}
