@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check build vet test bench
+
+# Tier-1 gate: everything must pass before a change lands.
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# Smoke-run every benchmark once (no timing significance).
+bench:
+	$(GO) test -bench . -benchtime=1x

@@ -2,13 +2,25 @@
 //
 //	ipcpsim -workload gcc-2226 -l1 ipcp -l2 ipcp -measure 200000
 //	ipcpsim -mix lbm-94,omnetpp-17 -l1 bingo
+//	ipcpsim -workload gcc-2226 -l1 ipcp -l2 ipcp -trace run.json -interval 10000 -metrics-out run.csv
+//	ipcpsim -workload gcc-2226 -l1 ipcp -json
 //	ipcpsim -list
+//
+// Observability flags: -trace writes the measured phase's event trace
+// (.json → Chrome trace_event for chrome://tracing / Perfetto,
+// anything else → JSONL); -interval N samples the metrics timeline
+// every N cycles into -metrics-out (.csv → CSV, else JSONL); -json
+// emits the full result as one JSON object on stdout; -cpuprofile /
+// -memprofile write stdlib runtime/pprof profiles.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ipcp"
@@ -26,6 +38,14 @@ func main() {
 		measure      = flag.Uint64("measure", 200_000, "measured instructions per core")
 		seed         = flag.Int64("seed", 1, "workload/page-allocation seed")
 		list         = flag.Bool("list", false, "list workloads and prefetchers")
+
+		traceOut   = flag.String("trace", "", "write the event trace to this file (.json → Chrome trace_event, else JSONL)")
+		traceBuf   = flag.Int("trace-buf", 1<<19, "event ring-buffer capacity (oldest events overwritten beyond it)")
+		interval   = flag.Int64("interval", 0, "sample interval metrics every N cycles (0 = off)")
+		metricsOut = flag.String("metrics-out", "", "write the interval timeline to this file (.csv → CSV, else JSONL; default stdout)")
+		jsonOut    = flag.Bool("json", false, "emit the full result as one JSON object on stdout")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -37,6 +57,18 @@ func main() {
 			fmt.Println("  ", w)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	rc := ipcp.RunConfig{
@@ -51,12 +83,92 @@ func main() {
 	if *mix != "" {
 		rc.Mix = strings.Split(*mix, ",")
 	}
+	if *traceOut != "" {
+		rc.Tracer = ipcp.NewTracer(*traceBuf)
+	}
+	if *interval > 0 || *metricsOut != "" {
+		rc.Intervals = ipcp.NewIntervalLog(*interval)
+	}
+
 	res, err := ipcp.Run(rc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ipcpsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	report(res)
+
+	if *traceOut != "" {
+		if err := writeTrace(rc.Tracer, *traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ipcpsim: wrote %d trace events to %s (%d overwritten)\n",
+			rc.Tracer.Len(), *traceOut, rc.Tracer.Dropped())
+	}
+	if rc.Intervals != nil {
+		if err := writeIntervals(rc.Intervals, *metricsOut); err != nil {
+			fatal(err)
+		}
+		if *metricsOut != "" {
+			fmt.Fprintf(os.Stderr, "ipcpsim: wrote %d interval samples to %s\n",
+				rc.Intervals.Len(), *metricsOut)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		report(res)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ipcpsim:", err)
+	os.Exit(1)
+}
+
+// writeTrace exports the event trace; a .json extension selects the
+// Chrome trace_event format, anything else JSONL.
+func writeTrace(tr *ipcp.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return tr.WriteChromeTrace(f)
+	}
+	return tr.WriteJSONL(f)
+}
+
+// writeIntervals exports the interval timeline; a .csv extension
+// selects CSV, anything else JSONL; an empty path writes CSV to stdout.
+func writeIntervals(log *ipcp.IntervalLog, path string) error {
+	if path == "" {
+		return log.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return log.WriteCSV(f)
+	}
+	return log.WriteJSONL(f)
 }
 
 func report(res *ipcp.Result) {
@@ -73,6 +185,9 @@ func report(res *ipcp.Result) {
 				l1.IssuedByClass[memsys.ClassCS], l1.IssuedByClass[memsys.ClassCPLX],
 				l1.IssuedByClass[memsys.ClassGS], l1.IssuedByClass[memsys.ClassNL])
 		}
+		if snap := res.IPCPL1[i]; snap != nil {
+			reportIPCP(snap)
+		}
 		l2 := res.L2[i]
 		fmt.Printf("  L2:  %6d demand accesses, %6d misses (MPKI %.1f), %d prefetches\n",
 			l2.DemandAccesses(), l2.DemandMisses(), res.MPKI("L2", i), l2.PrefetchIssued)
@@ -82,4 +197,28 @@ func report(res *ipcp.Result) {
 	fmt.Printf("DRAM: %d reads, %d writes, %.1f%% bus utilization, %d row hits / %d misses / %d conflicts\n",
 		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.BusUtilization()*100,
 		res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts)
+}
+
+// reportIPCP prints the per-class introspection table of an IPCP L1.
+func reportIPCP(s *ipcp.IPCPSnapshot) {
+	nl := "off"
+	if s.NLOn {
+		nl = "on"
+	}
+	fmt.Printf("       IPCP: NL gate %s, %d class transitions, RR filter %d/%d hits\n",
+		nl, s.ClassTransitions, s.RRHits, s.RRProbes)
+	fmt.Printf("       %-5s %8s %8s %8s %6s %6s %8s %8s %6s %6s\n",
+		"class", "issued", "fills", "useful", "acc", "deg", "rr-drop", "clamped", "thr+", "thr-")
+	for _, cls := range []memsys.PrefetchClass{
+		memsys.ClassCS, memsys.ClassCPLX, memsys.ClassGS, memsys.ClassNL,
+	} {
+		c := s.Classes[cls]
+		acc := "--"
+		if c.AccuracyMeasured {
+			acc = fmt.Sprintf("%.2f", c.Accuracy)
+		}
+		fmt.Printf("       %-5s %8d %8d %8d %6s %6d %8d %8d %6d %6d\n",
+			cls, c.Issued, c.Fills, c.Useful, acc, c.Degree,
+			c.RRFiltered, c.PageClamped, c.ThrottleUps, c.ThrottleDowns)
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"ipcp/internal/memsys"
 	"ipcp/internal/prefetch"
 	"ipcp/internal/repl"
+	"ipcp/internal/telemetry"
 )
 
 // Config describes one cache.
@@ -130,6 +131,11 @@ type Cache struct {
 	setsMask uint64
 	now      int64
 
+	// tr is the optional event tracer (nil = tracing off); trCore tags
+	// events with the owning core (-1 for the shared LLC).
+	tr     *telemetry.Tracer
+	trCore int
+
 	Stats Stats
 }
 
@@ -185,6 +191,14 @@ func (c *Cache) Prefetcher() prefetch.Prefetcher { return c.pf }
 // SetTranslator supplies the virtual→physical mapping for prefetch
 // candidates (L1-D only).
 func (c *Cache) SetTranslator(t Translator) { c.translate = t }
+
+// SetTracer implements telemetry.Traceable: attach (or detach, with
+// nil) the event tracer. core tags emitted events (-1 for shared
+// caches).
+func (c *Cache) SetTracer(tr *telemetry.Tracer, core int) {
+	c.tr = tr
+	c.trCore = core
+}
 
 // ResetStats zeroes the counters (end of warmup).
 func (c *Cache) ResetStats() { c.Stats = Stats{} }
@@ -315,6 +329,13 @@ func (c *Cache) service(now int64, r *memsys.Request, fromPQ bool) bool {
 			hitClass = line.Class
 			hitPrefetched = true
 			line.Prefetched = false
+			if c.tr != nil {
+				c.tr.Emit(telemetry.Event{
+					Cycle: now, Kind: telemetry.EvUseful,
+					Level: c.cfg.Level, Core: c.trCore, Class: hitClass,
+					Addr: r.Addr, IP: r.IP,
+				})
+			}
 		}
 		c.count(r.Type, true)
 		c.pol.Hit(set, way, r)
@@ -459,6 +480,13 @@ func (c *Cache) issuePrefetch(cand prefetch.Candidate) bool {
 	c.pq.push(r)
 	c.Stats.PrefetchIssued++
 	c.Stats.IssuedByClass[cand.Class]++
+	if c.tr != nil {
+		c.tr.Emit(telemetry.Event{
+			Cycle: c.now, Kind: telemetry.EvIssued,
+			Level: c.cfg.Level, Core: c.trCore, Class: cand.Class,
+			Addr: r.Addr, IP: cand.IP,
+		})
+	}
 	return true
 }
 
@@ -544,6 +572,13 @@ func (c *Cache) installFill(now int64, req *memsys.Request) bool {
 	if e.prefetchOnly {
 		c.Stats.PrefetchFills++
 		c.Stats.FillsByClass[e.class]++
+		if c.tr != nil {
+			c.tr.Emit(telemetry.Event{
+				Cycle: now, Kind: telemetry.EvFill,
+				Level: c.cfg.Level, Core: c.trCore, Class: e.class,
+				Addr: req.Addr,
+			})
+		}
 	}
 	for _, w := range e.waiters {
 		if w.ReturnTo != nil {

@@ -9,6 +9,7 @@ package core
 import (
 	"ipcp/internal/memsys"
 	"ipcp/internal/prefetch"
+	"ipcp/internal/telemetry"
 )
 
 // L1Config parametrizes the L1-D IPCP. The zero value is not valid;
@@ -104,6 +105,9 @@ type ipEntry struct {
 	streamValid bool
 	direction   int8 // +1 / -1
 	signature   uint16
+	// lastClass is telemetry bookkeeping (class-transition events), not
+	// architectural state.
+	lastClass memsys.PrefetchClass
 }
 
 // csptEntry is one Complex Stride Prediction Table entry (Fig. 3).
@@ -156,9 +160,25 @@ type L1IPCP struct {
 	nlOn        bool
 
 	clock uint64
+	now   int64 // last observed cycle (telemetry timestamps)
 
-	// Stats (per class attribution of issued candidates).
-	Issued [memsys.NumClasses]uint64
+	// tr is the optional event tracer; nil (the default) keeps every
+	// emit site on a single predictable branch.
+	tr   *telemetry.Tracer
+	core int
+
+	// Stats: per-class attribution of the prefetch lifecycle. All reset
+	// at the warmup boundary; none feed back into prefetch decisions.
+	Issued        [memsys.NumClasses]uint64
+	Fills         [memsys.NumClasses]uint64
+	Useful        [memsys.NumClasses]uint64
+	RRFiltered    [memsys.NumClasses]uint64
+	PageClamped   [memsys.NumClasses]uint64
+	ThrottleUps   [memsys.NumClasses]uint64
+	ThrottleDowns [memsys.NumClasses]uint64
+
+	// ClassTransitions counts IPs switching class.
+	ClassTransitions uint64
 }
 
 // NewL1IPCP builds the L1-D prefetcher.
@@ -217,9 +237,11 @@ func (p *L1IPCP) Operate(now int64, a *prefetch.Access, iss prefetch.Issuer) {
 	if !a.Type.IsDemand() || a.Type == memsys.CodeRead {
 		return
 	}
+	p.now = now
 	// Per-class usefulness feedback (per-line class bits, §V).
 	if a.HitPrefetched && a.HitClass != memsys.ClassNone {
 		p.classes[a.HitClass].useful++
+		p.Useful[a.HitClass]++
 	}
 	if !a.Hit {
 		p.missCounter++
@@ -447,6 +469,17 @@ func (p *L1IPCP) prefetchFor(e *ipEntry, a *prefetch.Access, v memsys.Addr, iss 
 			break
 		}
 	}
+	if chosen != e.lastClass {
+		p.ClassTransitions++
+		if p.tr != nil {
+			p.tr.Emit(telemetry.Event{
+				Cycle: p.now, Kind: telemetry.EvClassTransition,
+				Level: memsys.LevelL1D, Core: p.core, Class: chosen,
+				IP: a.IP, Old: int(e.lastClass), New: int(chosen),
+			})
+		}
+		e.lastClass = chosen
+	}
 	if chosen == memsys.ClassNone {
 		p.temporalIssue(a, v, iss)
 		return
@@ -536,9 +569,26 @@ func (p *L1IPCP) issueClass(cls memsys.PrefetchClass, e *ipEntry, ip, v memsys.A
 func (p *L1IPCP) issue(iss prefetch.Issuer, ip, v memsys.Addr, offBlocks int64, cls memsys.PrefetchClass, stride int8) bool {
 	cand := memsys.Addr(int64(memsys.BlockNumber(v))+offBlocks) << memsys.BlockBits
 	if !memsys.SamePage(v, cand) {
-		return false // IPCP never crosses the page boundary (§IV)
+		// IPCP never crosses the page boundary (§IV).
+		p.PageClamped[cls]++
+		if p.tr != nil {
+			p.tr.Emit(telemetry.Event{
+				Cycle: p.now, Kind: telemetry.EvPageClamped,
+				Level: memsys.LevelL1D, Core: p.core, Class: cls,
+				Addr: cand, IP: ip,
+			})
+		}
+		return false
 	}
 	if p.cfg.UseRRFilter && p.rr.hit(cand) {
+		p.RRFiltered[cls]++
+		if p.tr != nil {
+			p.tr.Emit(telemetry.Event{
+				Cycle: p.now, Kind: telemetry.EvRRFiltered,
+				Level: memsys.LevelL1D, Core: p.core, Class: cls,
+				Addr: cand, IP: ip,
+			})
+		}
 		return false
 	}
 	meta := uint16(0)
@@ -572,6 +622,8 @@ func (p *L1IPCP) Fill(now int64, f *prefetch.FillEvent) {
 	if !f.Prefetch || f.Class == memsys.ClassNone {
 		return
 	}
+	p.now = now
+	p.Fills[f.Class]++
 	st := &p.classes[f.Class]
 	st.fills++
 	if st.fills >= uint64(p.cfg.ThrottleWindow) {
@@ -587,6 +639,7 @@ func (p *L1IPCP) throttle(cls memsys.PrefetchClass) {
 	st.accuracy = acc
 	st.measured = true
 	st.fills, st.useful = 0, 0
+	old := st.degree
 	switch {
 	case acc > p.cfg.ThrottleHigh:
 		if st.degree < st.defDegree {
@@ -596,6 +649,18 @@ func (p *L1IPCP) throttle(cls memsys.PrefetchClass) {
 		if st.degree > 1 {
 			st.degree--
 		}
+	}
+	if st.degree > old {
+		p.ThrottleUps[cls]++
+	} else if st.degree < old {
+		p.ThrottleDowns[cls]++
+	}
+	if p.tr != nil {
+		p.tr.Emit(telemetry.Event{
+			Cycle: p.now, Kind: telemetry.EvThrottle,
+			Level: memsys.LevelL1D, Core: p.core, Class: cls,
+			Old: old, New: st.degree, Acc: acc,
+		})
 	}
 }
 
@@ -607,9 +672,24 @@ func (p *L1IPCP) Cycle(now int64) {
 		return
 	}
 	mpkc := float64(p.missCounter) * 1000 / float64(now-p.cycleMark)
+	was := p.nlOn
 	p.nlOn = mpkc < p.cfg.NLThresholdMPKC
 	p.missCounter = 0
 	p.cycleMark = now
+	if p.nlOn != was && p.tr != nil {
+		p.tr.Emit(telemetry.Event{
+			Cycle: now, Kind: telemetry.EvNLGate,
+			Level: memsys.LevelL1D, Core: p.core, Class: memsys.ClassNL,
+			Old: boolToInt(was), New: boolToInt(p.nlOn),
+		})
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // ClassAccuracy exposes a class's last measured accuracy (testing and
@@ -625,6 +705,57 @@ func (p *L1IPCP) ClassDegree(cls memsys.PrefetchClass) int {
 
 // NLEnabled reports the tentative-NL gate state.
 func (p *L1IPCP) NLEnabled() bool { return p.nlOn }
+
+// SetTracer implements telemetry.Traceable: attach (or detach, with
+// nil) the event tracer. core tags emitted events.
+func (p *L1IPCP) SetTracer(tr *telemetry.Tracer, core int) {
+	p.tr = tr
+	p.core = core
+}
+
+// ResetStats implements telemetry.StatsResetter: zero the observation
+// counters at the warmup boundary. Architectural state — table
+// contents, throttle degrees, accuracy windows, the NL gate — is
+// untouched, so behavior is identical with or without the reset.
+func (p *L1IPCP) ResetStats() {
+	p.Issued = [memsys.NumClasses]uint64{}
+	p.Fills = [memsys.NumClasses]uint64{}
+	p.Useful = [memsys.NumClasses]uint64{}
+	p.RRFiltered = [memsys.NumClasses]uint64{}
+	p.PageClamped = [memsys.NumClasses]uint64{}
+	p.ThrottleUps = [memsys.NumClasses]uint64{}
+	p.ThrottleDowns = [memsys.NumClasses]uint64{}
+	p.ClassTransitions = 0
+	p.rr.resetStats()
+}
+
+// TelemetrySnapshot implements telemetry.Introspector: export the
+// per-class counters and live throttle state.
+func (p *L1IPCP) TelemetrySnapshot() telemetry.Snapshot {
+	s := telemetry.Snapshot{
+		Name:             p.Name(),
+		Level:            memsys.LevelL1D,
+		NLOn:             p.nlOn,
+		ClassTransitions: p.ClassTransitions,
+	}
+	s.RRProbes, s.RRHits = p.rr.stats()
+	for c := 0; c < memsys.NumClasses; c++ {
+		st := &p.classes[c]
+		s.Classes[c] = telemetry.ClassStats{
+			Issued:           p.Issued[c],
+			Fills:            p.Fills[c],
+			Useful:           p.Useful[c],
+			RRFiltered:       p.RRFiltered[c],
+			PageClamped:      p.PageClamped[c],
+			ThrottleUps:      p.ThrottleUps[c],
+			ThrottleDowns:    p.ThrottleDowns[c],
+			Degree:           st.degree,
+			Accuracy:         st.accuracy,
+			AccuracyMeasured: st.measured,
+		}
+	}
+	return s
+}
 
 // DebugEntries invokes f for every trained IP-table entry (testing and
 // diagnostics).

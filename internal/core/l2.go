@@ -3,6 +3,7 @@ package core
 import (
 	"ipcp/internal/memsys"
 	"ipcp/internal/prefetch"
+	"ipcp/internal/telemetry"
 )
 
 // L2Config parametrizes the L2 IPCP (Fig. 6).
@@ -48,6 +49,9 @@ type L2IPCP struct {
 	missCounter uint64
 	cycleMark   int64
 	nlOn        bool
+
+	tr   *telemetry.Tracer
+	core int
 
 	Issued [memsys.NumClasses]uint64
 }
@@ -159,13 +163,47 @@ func (p *L2IPCP) Cycle(now int64) {
 		return
 	}
 	mpkc := float64(p.missCounter) * 1000 / float64(now-p.cycleMark)
+	was := p.nlOn
 	p.nlOn = mpkc < p.cfg.NLThresholdMPKC
 	p.missCounter = 0
 	p.cycleMark = now
+	if p.nlOn != was && p.tr != nil {
+		p.tr.Emit(telemetry.Event{
+			Cycle: now, Kind: telemetry.EvNLGate,
+			Level: memsys.LevelL2, Core: p.core, Class: memsys.ClassNL,
+			Old: boolToInt(was), New: boolToInt(p.nlOn),
+		})
+	}
 }
 
 // NLEnabled reports the tentative-NL gate state (testing).
 func (p *L2IPCP) NLEnabled() bool { return p.nlOn }
+
+// SetTracer implements telemetry.Traceable.
+func (p *L2IPCP) SetTracer(tr *telemetry.Tracer, core int) {
+	p.tr = tr
+	p.core = core
+}
+
+// ResetStats implements telemetry.StatsResetter (warmup boundary).
+func (p *L2IPCP) ResetStats() {
+	p.Issued = [memsys.NumClasses]uint64{}
+}
+
+// TelemetrySnapshot implements telemetry.Introspector. The L2 IPCP has
+// no throttling or filtering of its own, so only the issued counters
+// and the NL gate carry state.
+func (p *L2IPCP) TelemetrySnapshot() telemetry.Snapshot {
+	s := telemetry.Snapshot{
+		Name:  p.Name(),
+		Level: memsys.LevelL2,
+		NLOn:  p.nlOn,
+	}
+	for c := 0; c < memsys.NumClasses; c++ {
+		s.Classes[c] = telemetry.ClassStats{Issued: p.Issued[c]}
+	}
+	return s
+}
 
 func init() {
 	prefetch.Register("ipcp", func(level prefetch.Level) prefetch.Prefetcher {

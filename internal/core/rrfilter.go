@@ -11,6 +11,11 @@ import "ipcp/internal/memsys"
 type rrFilter struct {
 	tags []uint16
 	pos  int
+
+	// probes/hits are observation counters for telemetry snapshots;
+	// they never influence filtering decisions.
+	probes uint64
+	hits   uint64
 }
 
 const (
@@ -33,14 +38,23 @@ func rrTag(addr memsys.Addr) uint16 {
 
 // hit reports whether addr's partial tag is present.
 func (f *rrFilter) hit(addr memsys.Addr) bool {
+	f.probes++
 	t := rrTag(addr)
 	for _, x := range f.tags {
 		if x == t {
+			f.hits++
 			return true
 		}
 	}
 	return false
 }
+
+// stats returns the cumulative probe and hit counts.
+func (f *rrFilter) stats() (probes, hits uint64) { return f.probes, f.hits }
+
+// resetStats zeroes the observation counters (warmup boundary); the
+// filter contents are architectural state and stay intact.
+func (f *rrFilter) resetStats() { f.probes, f.hits = 0, 0 }
 
 // insert records addr, replacing the oldest entry (FIFO).
 func (f *rrFilter) insert(addr memsys.Addr) {

@@ -37,7 +37,7 @@ func weightedSpeedup(s *Session, mix []string, c Combo) (float64, error) {
 	for i := 0; i < n; i++ {
 		alone[i] = results[1+i].IPC[0]
 	}
-	return stats.WeightedSpeedup(together, alone), nil
+	return stats.WeightedSpeedup(together, alone)
 }
 
 // normalizedWS returns WS(combo)/WS(no-prefetch) for a mix.

@@ -6,11 +6,13 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"ipcp/internal/cache"
 	"ipcp/internal/cpu"
 	"ipcp/internal/dram"
 	"ipcp/internal/memsys"
+	"ipcp/internal/telemetry"
 	"ipcp/internal/trace"
 	"ipcp/internal/vmem"
 )
@@ -27,6 +29,14 @@ type System struct {
 	mem   *dram.Controller
 
 	cycle int64
+
+	// Telemetry (all nil/false when disabled — the step() fast path
+	// pays one branch).
+	tracer     *telemetry.Tracer
+	ilog       *telemetry.IntervalLog
+	sampling   bool
+	lastSample int64
+	prevCum    intervalCum
 }
 
 // Result reports one run's measured statistics.
@@ -43,15 +53,24 @@ type Result struct {
 	L1I, L1D, L2 []cache.Stats
 	LLC          cache.Stats
 	DRAM         dram.Stats
+
+	// IPCPL1 and IPCPL2 hold per-core introspection snapshots of the
+	// L1-D and L2 prefetchers; an entry is nil when that core's
+	// prefetcher does not implement telemetry.Introspector.
+	IPCPL1 []*telemetry.Snapshot
+	IPCPL2 []*telemetry.Snapshot
 }
 
 // MPKI returns core i's demand misses per kilo instruction at the given
-// level ("L1D", "L2", "LLC"). For the shared LLC the misses are the
-// whole system's, divided by the per-core instruction count times the
-// core count.
+// level ("L1I", "L1D", "L2", "LLC"). For the shared LLC the misses are
+// the whole system's, divided by the per-core instruction count times
+// the core count. An unknown level returns NaN — loud in any downstream
+// arithmetic instead of silently biasing it toward zero.
 func (r *Result) MPKI(level string, core int) float64 {
 	instr := float64(r.Instructions)
 	switch level {
+	case "L1I":
+		return float64(r.L1I[core].DemandMisses()) * 1000 / instr
 	case "L1D":
 		return float64(r.L1D[core].DemandMisses()) * 1000 / instr
 	case "L2":
@@ -59,7 +78,7 @@ func (r *Result) MPKI(level string, core int) float64 {
 	case "LLC":
 		return float64(r.LLC.DemandMisses()) * 1000 / (instr * float64(r.Cores))
 	default:
-		return 0
+		return math.NaN()
 	}
 }
 
@@ -186,6 +205,119 @@ func (s *System) DRAM() *dram.Controller { return s.mem }
 // Core exposes core i.
 func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
 
+// SetTracer attaches an event tracer to every cache and every
+// telemetry-aware prefetcher in the system (nil detaches). The trace
+// spans warmup and measurement; an EvPhase marker is emitted at the
+// warmup boundary so tools can clip to the measured phase.
+func (s *System) SetTracer(tr *telemetry.Tracer) {
+	s.tracer = tr
+	for i := range s.cores {
+		s.l1ds[i].SetTracer(tr, i)
+		s.l1is[i].SetTracer(tr, i)
+		s.l2s[i].SetTracer(tr, i)
+		if t, ok := s.l1ds[i].Prefetcher().(telemetry.Traceable); ok {
+			t.SetTracer(tr, i)
+		}
+		if t, ok := s.l2s[i].Prefetcher().(telemetry.Traceable); ok {
+			t.SetTracer(tr, i)
+		}
+	}
+	s.llc.SetTracer(tr, -1)
+	if t, ok := s.llc.Prefetcher().(telemetry.Traceable); ok {
+		t.SetTracer(tr, -1)
+	}
+}
+
+// SetIntervalLog attaches an interval-metrics log; every log.Every
+// cycles of the measured phase, one Sample is recorded. Nil detaches.
+func (s *System) SetIntervalLog(log *telemetry.IntervalLog) {
+	s.ilog = log
+	s.sampling = false
+}
+
+// intervalCum is the cumulative-counter snapshot interval deltas are
+// computed against.
+type intervalCum struct {
+	retired                         uint64
+	l1dMiss, l2Miss, llcMiss        uint64
+	dramBytes, dramBusy, dramCycles uint64
+
+	classIssued [memsys.NumClasses]uint64
+	classFills  [memsys.NumClasses]uint64
+	classUseful [memsys.NumClasses]uint64
+}
+
+// snapshotCum reads the system's cumulative counters.
+func (s *System) snapshotCum() intervalCum {
+	var c intervalCum
+	for i := range s.cores {
+		c.retired += s.cores[i].Stats.Retired
+		c.l1dMiss += s.l1ds[i].Stats.DemandMisses()
+		c.l2Miss += s.l2s[i].Stats.DemandMisses()
+		if in, ok := s.l1ds[i].Prefetcher().(telemetry.Introspector); ok {
+			snap := in.TelemetrySnapshot()
+			for cls := 0; cls < memsys.NumClasses; cls++ {
+				c.classIssued[cls] += snap.Classes[cls].Issued
+				c.classFills[cls] += snap.Classes[cls].Fills
+				c.classUseful[cls] += snap.Classes[cls].Useful
+			}
+		}
+	}
+	c.llcMiss = s.llc.Stats.DemandMisses()
+	c.dramBytes = s.mem.Stats.BytesTransferred()
+	c.dramBusy = s.mem.Stats.BusBusyCycles
+	c.dramCycles = s.mem.Stats.Cycles
+	return c
+}
+
+// flushInterval closes the open interval at the current cycle and
+// records its sample.
+func (s *System) flushInterval() {
+	if s.cycle == s.lastSample {
+		return
+	}
+	cur := s.snapshotCum()
+	prev := s.prevCum
+	cycles := s.cycle - s.lastSample
+
+	sm := telemetry.Sample{
+		StartCycle:   s.lastSample,
+		EndCycle:     s.cycle,
+		Instructions: cur.retired - prev.retired,
+	}
+	// IPC is the per-core average over the interval.
+	sm.IPC = float64(sm.Instructions) / float64(cycles) / float64(s.cfg.Cores)
+	if sm.Instructions > 0 {
+		ki := float64(sm.Instructions) / 1000
+		sm.L1DMPKI = float64(cur.l1dMiss-prev.l1dMiss) / ki
+		sm.L2MPKI = float64(cur.l2Miss-prev.l2Miss) / ki
+		sm.LLCMPKI = float64(cur.llcMiss-prev.llcMiss) / ki
+	}
+	sm.DRAMBytes = cur.dramBytes - prev.dramBytes
+	if dc := cur.dramCycles - prev.dramCycles; dc > 0 {
+		sm.DRAMBusUtil = float64(cur.dramBusy-prev.dramBusy) / float64(dc)
+	}
+	for cls := 0; cls < memsys.NumClasses; cls++ {
+		sm.Classes[cls] = telemetry.ClassSample{
+			Issued: cur.classIssued[cls] - prev.classIssued[cls],
+			Fills:  cur.classFills[cls] - prev.classFills[cls],
+			Useful: cur.classUseful[cls] - prev.classUseful[cls],
+		}
+	}
+	// Degree/accuracy are end-of-interval state, reported for core 0
+	// (the only core of the single-core runs this timeline targets).
+	if in, ok := s.l1ds[0].Prefetcher().(telemetry.Introspector); ok {
+		snap := in.TelemetrySnapshot()
+		for cls := 0; cls < memsys.NumClasses; cls++ {
+			sm.Classes[cls].Degree = snap.Classes[cls].Degree
+			sm.Classes[cls].Accuracy = snap.Classes[cls].Accuracy
+		}
+	}
+	s.ilog.Record(sm)
+	s.prevCum = cur
+	s.lastSample = s.cycle
+}
+
 // step advances the whole system one cycle, memory side first so that
 // data returned this cycle is visible to the cores next cycle.
 func (s *System) step() {
@@ -199,18 +331,47 @@ func (s *System) step() {
 		s.cores[i].Cycle(now)
 	}
 	s.cycle++
+	if s.sampling && s.cycle-s.lastSample >= s.ilog.Every {
+		s.flushInterval()
+	}
 }
 
-// resetStats zeroes every component's counters at the warmup boundary.
+// resetStats zeroes every component's counters at the warmup boundary,
+// including prefetcher observation counters, so everything reported
+// afterwards — aggregates, trace events, interval samples — covers the
+// measured phase only.
 func (s *System) resetStats() {
 	for i := range s.cores {
 		s.cores[i].ResetStats()
 		s.l1ds[i].ResetStats()
 		s.l1is[i].ResetStats()
 		s.l2s[i].ResetStats()
+		for _, c := range []*cache.Cache{s.l1ds[i], s.l1is[i], s.l2s[i]} {
+			if rp, ok := c.Prefetcher().(telemetry.StatsResetter); ok {
+				rp.ResetStats()
+			}
+		}
 	}
 	s.llc.ResetStats()
+	if rp, ok := s.llc.Prefetcher().(telemetry.StatsResetter); ok {
+		rp.ResetStats()
+	}
 	s.mem.ResetStats()
+
+	// The trace deliberately spans the whole run — classification and
+	// training happen during warmup, and every event is cycle-stamped —
+	// so mark the boundary instead of clearing the ring. Intervals and
+	// counters below remain measured-phase only.
+	if s.tracer != nil {
+		s.tracer.Emit(telemetry.Event{
+			Cycle: s.cycle, Kind: telemetry.EvPhase, Core: -1, New: 1,
+		})
+	}
+	if s.ilog != nil {
+		s.sampling = true
+		s.lastSample = s.cycle
+		s.prevCum = s.snapshotCum()
+	}
 }
 
 // Run executes warmup instructions per core (stats discarded), then
@@ -253,6 +414,13 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 		}
 	}
 
+	// Close the last (partial) interval so the timeline's deltas sum
+	// exactly to the end-of-run totals.
+	if s.sampling {
+		s.flushInterval()
+		s.sampling = false
+	}
+
 	res := &Result{
 		Cores:         s.cfg.Cores,
 		Instructions:  measure,
@@ -269,8 +437,20 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 		res.L1D = append(res.L1D, s.l1ds[i].Stats)
 		res.L1I = append(res.L1I, s.l1is[i].Stats)
 		res.L2 = append(res.L2, s.l2s[i].Stats)
+		res.IPCPL1 = append(res.IPCPL1, snapshotOf(s.l1ds[i]))
+		res.IPCPL2 = append(res.IPCPL2, snapshotOf(s.l2s[i]))
 	}
 	return res, nil
+}
+
+// snapshotOf returns the cache's prefetcher introspection snapshot, or
+// nil when the prefetcher exposes none.
+func snapshotOf(c *cache.Cache) *telemetry.Snapshot {
+	if in, ok := c.Prefetcher().(telemetry.Introspector); ok {
+		s := in.TelemetrySnapshot()
+		return &s
+	}
+	return nil
 }
 
 func (s *System) allRetired(n uint64) bool {

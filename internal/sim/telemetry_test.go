@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ipcp/internal/memsys"
+	"ipcp/internal/telemetry"
+
+	_ "ipcp/internal/core" // register "ipcp"
+)
+
+// buildIPCP builds a single-core system with IPCP at L1-D and L2.
+func buildIPCP(t *testing.T, wl string) *System {
+	t.Helper()
+	cfg := PaperConfig(1)
+	cfg.L1DPrefetcher = PrefetcherSpec{Name: "ipcp"}
+	cfg.L2Prefetcher = PrefetcherSpec{Name: "ipcp"}
+	sys, err := Build(cfg, streamsFor(t, []string{wl}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTraceCapturesIPCPLifecycle(t *testing.T) {
+	sys := buildIPCP(t, "gcc-2226")
+	tr := telemetry.NewTracer(1 << 19)
+	sys.SetTracer(tr)
+	if _, err := sys.Run(5000, 60000); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trace spans warmup + measurement, so classification events
+	// from the training phase must be present alongside steady-state
+	// throttle decisions.
+	if n := tr.Count(telemetry.EvClassTransition); n == 0 {
+		t.Error("no class-transition events in trace")
+	}
+	if n := tr.Count(telemetry.EvThrottle); n == 0 {
+		t.Error("no throttle events in trace")
+	}
+	if n := tr.Count(telemetry.EvIssued); n == 0 {
+		t.Error("no issued events in trace")
+	}
+	if n := tr.Count(telemetry.EvPhase); n != 1 {
+		t.Errorf("got %d phase markers, want exactly 1", n)
+	}
+
+	// Events must be cycle-ordered (single emit site per step), and the
+	// phase marker must split training from measurement.
+	evs := tr.Events()
+	var phaseCycle int64 = -1
+	for i, e := range evs {
+		if i > 0 && e.Cycle < evs[i-1].Cycle {
+			t.Fatalf("event %d out of order: cycle %d after %d",
+				i, e.Cycle, evs[i-1].Cycle)
+		}
+		if e.Kind == telemetry.EvPhase {
+			phaseCycle = e.Cycle
+		}
+	}
+	if phaseCycle <= 0 {
+		t.Fatal("phase marker missing or at cycle 0")
+	}
+	trainingTransitions := 0
+	for _, e := range evs {
+		if e.Kind == telemetry.EvClassTransition && e.Cycle < phaseCycle {
+			trainingTransitions++
+		}
+	}
+	if trainingTransitions == 0 {
+		t.Error("no class transitions during the training phase")
+	}
+}
+
+func TestIntervalsAlignWithMeasuredPhase(t *testing.T) {
+	sys := buildIPCP(t, "gcc-2226")
+	log := telemetry.NewIntervalLog(10_000)
+	sys.SetIntervalLog(log)
+	res, err := sys.Run(5000, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := log.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("got %d interval samples, want several", len(samples))
+	}
+
+	// The timeline must tile the measured phase: contiguous cycle
+	// bounds, full-length intervals except the final partial one.
+	for i, s := range samples {
+		if s.Index != i {
+			t.Errorf("sample %d has index %d", i, s.Index)
+		}
+		if i > 0 && s.StartCycle != samples[i-1].EndCycle {
+			t.Errorf("sample %d not contiguous: starts %d, previous ended %d",
+				i, s.StartCycle, samples[i-1].EndCycle)
+		}
+		length := s.EndCycle - s.StartCycle
+		if i < len(samples)-1 && length != log.Every {
+			t.Errorf("sample %d spans %d cycles, want %d", i, length, log.Every)
+		}
+		if length <= 0 || length > log.Every {
+			t.Errorf("sample %d has bad span %d", i, length)
+		}
+	}
+
+	// No warmup event may leak into the measured timeline: the
+	// per-class issued/fills/useful deltas must sum exactly to the
+	// final snapshot totals, which are reset at the warmup boundary.
+	snap := res.IPCPL1[0]
+	if snap == nil {
+		t.Fatal("IPCP L1 snapshot missing from result")
+	}
+	var issued, fills, useful [memsys.NumClasses]uint64
+	var instr uint64
+	for _, s := range samples {
+		instr += s.Instructions
+		for c := range s.Classes {
+			issued[c] += s.Classes[c].Issued
+			fills[c] += s.Classes[c].Fills
+			useful[c] += s.Classes[c].Useful
+		}
+	}
+	for c := range snap.Classes {
+		cls := memsys.PrefetchClass(c)
+		if issued[c] != snap.Classes[c].Issued {
+			t.Errorf("%s: interval issued sum %d != final total %d",
+				cls, issued[c], snap.Classes[c].Issued)
+		}
+		if fills[c] != snap.Classes[c].Fills {
+			t.Errorf("%s: interval fills sum %d != final total %d",
+				cls, fills[c], snap.Classes[c].Fills)
+		}
+		if useful[c] != snap.Classes[c].Useful {
+			t.Errorf("%s: interval useful sum %d != final total %d",
+				cls, useful[c], snap.Classes[c].Useful)
+		}
+	}
+	if snap.TotalIssued() == 0 {
+		t.Error("IPCP issued nothing in the measured phase")
+	}
+	// Retired-instruction deltas likewise cover exactly the measured
+	// phase (cores may overshoot the target by < pipeline width).
+	if instr < res.Instructions ||
+		instr > res.Instructions+uint64(sys.cfg.Core.Width) {
+		t.Errorf("interval instructions sum %d outside [%d, %d]",
+			instr, res.Instructions, res.Instructions+uint64(sys.cfg.Core.Width))
+	}
+}
+
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	// Attaching a tracer and interval log must only observe: the
+	// simulated outcome has to be bit-identical to a bare run.
+	bare := func() *Result {
+		sys := buildIPCP(t, "mcf-1536")
+		res, err := sys.Run(2000, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	traced := func() *Result {
+		sys := buildIPCP(t, "mcf-1536")
+		sys.SetTracer(telemetry.NewTracer(1 << 12))
+		sys.SetIntervalLog(telemetry.NewIntervalLog(5000))
+		res, err := sys.Run(2000, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	if bare.IPC[0] != traced.IPC[0] {
+		t.Errorf("tracing changed IPC: %f vs %f", bare.IPC[0], traced.IPC[0])
+	}
+	if bare.L1D[0] != traced.L1D[0] {
+		t.Error("tracing changed L1D statistics")
+	}
+	if bare.DRAM != traced.DRAM {
+		t.Error("tracing changed DRAM statistics")
+	}
+}
+
+func TestMPKILevels(t *testing.T) {
+	sys := buildIPCP(t, "gcc-2226")
+	res, err := sys.Run(2000, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []string{"L1D", "L1I", "L2", "LLC"} {
+		m := res.MPKI(level, 0)
+		if math.IsNaN(m) || m < 0 {
+			t.Errorf("MPKI(%q) = %f, want a finite non-negative value", level, m)
+		}
+	}
+	// Unknown levels must be loud (NaN propagates into any downstream
+	// arithmetic), not a silent zero that biases averages.
+	if m := res.MPKI("L3", 0); !math.IsNaN(m) {
+		t.Errorf("MPKI of unknown level = %f, want NaN", m)
+	}
+}

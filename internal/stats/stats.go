@@ -35,10 +35,13 @@ func Speedup(ipc, base float64) float64 {
 }
 
 // WeightedSpeedup implements the paper's multi-core metric:
-// Σ IPC_together(i) / IPC_alone(i).
-func WeightedSpeedup(together, alone []float64) float64 {
+// Σ IPC_together(i) / IPC_alone(i). Mismatched slice lengths are a
+// caller bug, reported as an error rather than a panic — a metrics
+// library must not crash the harness mid-campaign.
+func WeightedSpeedup(together, alone []float64) (float64, error) {
 	if len(together) != len(alone) {
-		panic("stats: weighted speedup length mismatch")
+		return 0, fmt.Errorf("stats: weighted speedup length mismatch: %d together vs %d alone",
+			len(together), len(alone))
 	}
 	var ws float64
 	for i := range together {
@@ -47,16 +50,20 @@ func WeightedSpeedup(together, alone []float64) float64 {
 		}
 		ws += together[i] / alone[i]
 	}
-	return ws
+	return ws, nil
 }
 
 // NormalizedWeightedSpeedup divides WeightedSpeedup by the core count,
 // giving the per-core average used to compare against a baseline.
-func NormalizedWeightedSpeedup(together, alone []float64) float64 {
+func NormalizedWeightedSpeedup(together, alone []float64) (float64, error) {
 	if len(together) == 0 {
-		return 0
+		return 0, nil
 	}
-	return WeightedSpeedup(together, alone) / float64(len(together))
+	ws, err := WeightedSpeedup(together, alone)
+	if err != nil {
+		return 0, err
+	}
+	return ws / float64(len(together)), nil
 }
 
 // Coverage is the paper's prefetch coverage: the fraction of the

@@ -53,20 +53,29 @@ func TestGeomeanBoundsProperty(t *testing.T) {
 }
 
 func TestWeightedSpeedup(t *testing.T) {
-	ws := WeightedSpeedup([]float64{1, 1}, []float64{2, 2})
+	ws, err := WeightedSpeedup([]float64{1, 1}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !almost(ws, 1.0) {
 		t.Errorf("WeightedSpeedup = %f, want 1.0", ws)
 	}
-	n := NormalizedWeightedSpeedup([]float64{2, 2}, []float64{2, 2})
+	n, err := NormalizedWeightedSpeedup([]float64{2, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !almost(n, 1.0) {
 		t.Errorf("NormalizedWeightedSpeedup = %f, want 1.0", n)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("length mismatch did not panic")
-		}
-	}()
-	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}
+
+func TestWeightedSpeedupLengthMismatch(t *testing.T) {
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch did not return an error")
+	}
+	if _, err := NormalizedWeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("normalized length mismatch did not return an error")
+	}
 }
 
 func TestCoverage(t *testing.T) {
@@ -115,14 +124,21 @@ func TestPct(t *testing.T) {
 }
 
 func TestNormalizedWeightedSpeedupEmpty(t *testing.T) {
-	if got := NormalizedWeightedSpeedup(nil, nil); got != 0 {
+	got, err := NormalizedWeightedSpeedup(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
 		t.Errorf("empty NWS = %f", got)
 	}
 }
 
 func TestWeightedSpeedupSkipsZeroAlone(t *testing.T) {
 	// A zero "alone" IPC (broken run) must not produce Inf.
-	ws := WeightedSpeedup([]float64{1, 1}, []float64{0, 2})
+	ws, err := WeightedSpeedup([]float64{1, 1}, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.IsInf(ws, 0) || math.IsNaN(ws) {
 		t.Errorf("WS with zero alone = %f", ws)
 	}

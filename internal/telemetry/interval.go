@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ipcp/internal/memsys"
+)
+
+// ClassSample is one IPCP class's activity within one interval. Issued,
+// Fills and Useful are interval deltas (summed across cores); Degree
+// and Accuracy are the state at the end of the interval (core 0's, the
+// interesting one for single-core runs).
+type ClassSample struct {
+	Issued   uint64  `json:"issued"`
+	Fills    uint64  `json:"fills"`
+	Useful   uint64  `json:"useful"`
+	Degree   int     `json:"degree"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+// Sample is one interval of the metrics timeline. Cycle bounds are
+// absolute simulator cycles; rate metrics are computed over the
+// interval only.
+type Sample struct {
+	Index      int   `json:"interval"`
+	StartCycle int64 `json:"start_cycle"`
+	EndCycle   int64 `json:"end_cycle"`
+
+	// Instructions retired in the interval, summed across cores.
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+
+	L1DMPKI float64 `json:"l1d_mpki"`
+	L2MPKI  float64 `json:"l2_mpki"`
+	LLCMPKI float64 `json:"llc_mpki"`
+
+	// DRAMBytes is data moved on the DRAM bus in the interval;
+	// DRAMBusUtil the fraction of DRAM cycles the bus was busy.
+	DRAMBytes   uint64  `json:"dram_bytes"`
+	DRAMBusUtil float64 `json:"dram_bus_util"`
+
+	// Classes indexes by memsys.PrefetchClass (L1-D IPCP activity).
+	Classes [memsys.NumClasses]ClassSample `json:"classes"`
+}
+
+// IntervalLog collects the per-interval samples of one run.
+type IntervalLog struct {
+	// Every is the interval length in cycles.
+	Every   int64
+	samples []Sample
+}
+
+// DefaultInterval is the sampling period used when NewIntervalLog is
+// given a non-positive one.
+const DefaultInterval = 10_000
+
+// NewIntervalLog returns a log sampled every `every` cycles.
+func NewIntervalLog(every int64) *IntervalLog {
+	if every <= 0 {
+		every = DefaultInterval
+	}
+	return &IntervalLog{Every: every}
+}
+
+// Record appends one sample, stamping its index.
+func (l *IntervalLog) Record(s Sample) {
+	s.Index = len(l.samples)
+	l.samples = append(l.samples, s)
+}
+
+// Samples returns the recorded timeline.
+func (l *IntervalLog) Samples() []Sample { return l.samples }
+
+// Len returns the number of recorded intervals.
+func (l *IntervalLog) Len() int { return len(l.samples) }
+
+// sampledClasses are the classes reported in the CSV (ClassNone's
+// column would always be zero for IPCP; non-IPCP prefetchers land
+// there, so it is included last for completeness).
+var sampledClasses = []memsys.PrefetchClass{
+	memsys.ClassCS, memsys.ClassCPLX, memsys.ClassGS, memsys.ClassNL,
+	memsys.ClassNone,
+}
+
+// CSVHeader returns the column names of WriteCSV's output.
+func CSVHeader() []string {
+	cols := []string{
+		"interval", "start_cycle", "end_cycle", "instructions", "ipc",
+		"l1d_mpki", "l2_mpki", "llc_mpki", "dram_bytes", "dram_bus_util",
+	}
+	for _, c := range sampledClasses {
+		n := c.String()
+		cols = append(cols,
+			n+"_issued", n+"_fills", n+"_useful", n+"_degree", n+"_accuracy")
+	}
+	return cols
+}
+
+// WriteCSV writes the timeline as CSV with the CSVHeader columns.
+func (l *IntervalLog) WriteCSV(w io.Writer) error {
+	for i, col := range CSVHeader() {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, col); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, s := range l.samples {
+		row := fmt.Sprintf("%d,%d,%d,%d,%.6f,%.4f,%.4f,%.4f,%d,%.6f",
+			s.Index, s.StartCycle, s.EndCycle, s.Instructions, s.IPC,
+			s.L1DMPKI, s.L2MPKI, s.LLCMPKI, s.DRAMBytes, s.DRAMBusUtil)
+		for _, c := range sampledClasses {
+			cs := s.Classes[c]
+			row += fmt.Sprintf(",%d,%d,%d,%d,%.4f",
+				cs.Issued, cs.Fills, cs.Useful, cs.Degree, cs.Accuracy)
+		}
+		if _, err := io.WriteString(w, row+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes the timeline as one JSON object per interval.
+func (l *IntervalLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range l.samples {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

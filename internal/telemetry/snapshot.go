@@ -1,0 +1,79 @@
+package telemetry
+
+import "ipcp/internal/memsys"
+
+// ClassStats are one IPCP class's cumulative counters since the last
+// stats reset (i.e. the measured phase of a run).
+type ClassStats struct {
+	Issued      uint64 `json:"issued"`
+	Fills       uint64 `json:"fills"`
+	Useful      uint64 `json:"useful"`
+	RRFiltered  uint64 `json:"rr_filtered,omitempty"`
+	PageClamped uint64 `json:"page_clamped,omitempty"`
+
+	ThrottleUps   uint64 `json:"throttle_ups,omitempty"`
+	ThrottleDowns uint64 `json:"throttle_downs,omitempty"`
+
+	// Degree and Accuracy are live state, not counters: the current
+	// throttled degree and the last measured window accuracy (valid
+	// only when AccuracyMeasured).
+	Degree           int     `json:"degree,omitempty"`
+	Accuracy         float64 `json:"accuracy"`
+	AccuracyMeasured bool    `json:"accuracy_measured"`
+}
+
+// Snapshot is one prefetcher instance's introspection state, exported
+// through sim.Result for tooling (the `-json` flag, the interval
+// sampler, tests).
+type Snapshot struct {
+	// Name is the prefetcher's registry name; Level where it sits.
+	Name  string       `json:"name"`
+	Level memsys.Level `json:"level"`
+
+	// NLOn is the tentative next-line gate state.
+	NLOn bool `json:"nl_on"`
+
+	// RRProbes/RRHits are recent-request-filter lookups and hits (L1
+	// only; zero where there is no filter).
+	RRProbes uint64 `json:"rr_probes,omitempty"`
+	RRHits   uint64 `json:"rr_hits,omitempty"`
+
+	// ClassTransitions counts IPs switching class.
+	ClassTransitions uint64 `json:"class_transitions,omitempty"`
+
+	// Classes indexes by memsys.PrefetchClass (index 0 = none, then
+	// CS, CPLX, GS, NL).
+	Classes [memsys.NumClasses]ClassStats `json:"classes"`
+}
+
+// TotalIssued sums issued prefetches across classes.
+func (s *Snapshot) TotalIssued() uint64 {
+	var t uint64
+	for i := range s.Classes {
+		t += s.Classes[i].Issued
+	}
+	return t
+}
+
+// Introspector is implemented by prefetchers that can export a
+// per-class Snapshot (the IPCPs). The simulator discovers them by type
+// assertion, keeping the prefetch.Prefetcher interface unchanged.
+type Introspector interface {
+	TelemetrySnapshot() Snapshot
+}
+
+// Traceable is implemented by components that can emit trace events.
+// SetTracer attaches the (possibly nil) tracer and tells the component
+// which core it belongs to (-1 for shared components).
+type Traceable interface {
+	SetTracer(tr *Tracer, core int)
+}
+
+// StatsResetter is implemented by prefetchers whose observation
+// counters reset at the warmup boundary alongside cache statistics.
+// Resetting must not disturb architectural state (degrees, accuracy
+// windows, table contents) — simulation behavior has to be identical
+// with or without the reset.
+type StatsResetter interface {
+	ResetStats()
+}

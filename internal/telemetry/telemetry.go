@@ -1,0 +1,291 @@
+// Package telemetry is the simulator's observability layer: a bounded
+// structured event trace (prefetch lifecycle, class transitions,
+// throttle decisions), an interval metrics timeline, and the per-class
+// introspection snapshot IPCP-style prefetchers export.
+//
+// Everything here is strictly opt-in: components hold a nil *Tracer /
+// nil *IntervalLog by default and guard every emit site with a nil
+// check, so the disabled path costs one predictable branch and zero
+// allocations.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ipcp/internal/memsys"
+)
+
+// EventKind enumerates the traced event types.
+type EventKind uint8
+
+const (
+	// EvIssued is a prefetch candidate accepted into a prefetch queue.
+	EvIssued EventKind = iota
+	// EvFill is a prefetched block installed into a cache.
+	EvFill
+	// EvUseful is a demand hit on a prefetched, not-yet-demanded line.
+	EvUseful
+	// EvRRFiltered is a candidate dropped by the recent-request filter.
+	EvRRFiltered
+	// EvPageClamped is a candidate dropped at the page boundary.
+	EvPageClamped
+	// EvClassTransition is an IP changing IPCP class (Old/New carry the
+	// classes).
+	EvClassTransition
+	// EvNLGate is the tentative next-line gate flipping (New is 0/1).
+	EvNLGate
+	// EvThrottle is an accuracy-window throttle decision (Old/New carry
+	// the degree, Acc the measured accuracy).
+	EvThrottle
+	// EvPhase marks a simulation phase boundary (the warmup→measurement
+	// transition); events with earlier cycles are training-phase
+	// events. Tools clip at this marker to isolate the measured phase.
+	EvPhase
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"issued", "fill", "useful", "rr-filtered", "page-clamped",
+	"class-transition", "nl-gate", "throttle", "phase",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one traced occurrence. The Old/New/Acc fields are
+// kind-specific: class transitions carry the old and new class, NL-gate
+// flips carry 0/1, throttle decisions carry the old and new degree plus
+// the window accuracy.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	Level memsys.Level
+	Core  int
+	Class memsys.PrefetchClass
+	Addr  memsys.Addr
+	IP    memsys.Addr
+	Old   int
+	New   int
+	Acc   float64
+}
+
+// Tracer records events into a bounded ring buffer: once full, the
+// oldest events are overwritten (the tail of a run is usually the
+// interesting part) and Dropped counts the overwritten ones.
+type Tracer struct {
+	buf     []Event
+	next    int
+	n       int
+	dropped uint64
+}
+
+// DefaultTracerCapacity is used when NewTracer is given a non-positive
+// capacity.
+const DefaultTracerCapacity = 1 << 16
+
+// NewTracer returns a tracer holding up to capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Emit records one event, overwriting the oldest when full.
+func (t *Tracer) Emit(e Event) {
+	if t.n == len(t.buf) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int { return t.n }
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int { return len(t.buf) }
+
+// Dropped returns how many events were overwritten by newer ones.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Reset discards all retained events. The simulator does NOT reset the
+// trace at the warmup boundary — training-phase events (classification,
+// NL-gate warmup) are part of what the trace explains — it emits an
+// EvPhase marker there instead, so tools can clip if they want to.
+func (t *Tracer) Reset() {
+	t.next, t.n, t.dropped = 0, 0, 0
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Count returns how many retained events have the given kind.
+func (t *Tracer) Count(kind EventKind) int {
+	n := 0
+	for _, e := range t.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// jsonEvent is the JSONL wire form of an Event.
+type jsonEvent struct {
+	Cycle int64   `json:"cycle"`
+	Kind  string  `json:"kind"`
+	Level string  `json:"level"`
+	Core  int     `json:"core"`
+	Class string  `json:"class,omitempty"`
+	Addr  string  `json:"addr,omitempty"`
+	IP    string  `json:"ip,omitempty"`
+	Old   int     `json:"old,omitempty"`
+	New   int     `json:"new,omitempty"`
+	Acc   float64 `json:"acc,omitempty"`
+}
+
+func toJSONEvent(e Event) jsonEvent {
+	je := jsonEvent{
+		Cycle: e.Cycle,
+		Kind:  e.Kind.String(),
+		Level: e.Level.String(),
+		Core:  e.Core,
+		Old:   e.Old,
+		New:   e.New,
+		Acc:   e.Acc,
+	}
+	if e.Class != memsys.ClassNone {
+		je.Class = e.Class.String()
+	}
+	if e.Addr != 0 {
+		je.Addr = fmt.Sprintf("0x%x", e.Addr)
+	}
+	if e.IP != 0 {
+		je.IP = fmt.Sprintf("0x%x", e.IP)
+	}
+	return je
+}
+
+// WriteJSONL writes the retained events as one JSON object per line,
+// oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(toJSONEvent(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event record. ts is in microseconds;
+// the export maps one simulated cycle to one microsecond so Perfetto's
+// time axis reads directly in cycles.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTID lays event lanes out per cache level and class so related
+// events share a track in the viewer.
+func chromeTID(e Event) int { return int(e.Level)*8 + int(e.Class) }
+
+// WriteChromeTrace writes the retained events in Chrome trace_event
+// JSON ({"traceEvents": [...]}), loadable in chrome://tracing and
+// Perfetto. Lifecycle events become instant events; throttle degrees
+// and the NL gate become counter tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events)+8)
+
+	// Name the pid/tid lanes once per (core, level, class) seen.
+	type lane struct{ pid, tid int }
+	named := map[lane]bool{}
+	for _, e := range events {
+		l := lane{e.Core, chromeTID(e)}
+		if named[l] {
+			continue
+		}
+		named[l] = true
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: e.Core, TID: l.tid,
+			Args: map[string]any{
+				"name": fmt.Sprintf("%s %s", e.Level, e.Class),
+			},
+		})
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvThrottle:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("degree.%s", e.Class), Phase: "C",
+				TS: e.Cycle, PID: e.Core,
+				Args: map[string]any{"degree": e.New, "accuracy": e.Acc},
+			})
+		case EvNLGate:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("nl-gate.%s", e.Level), Phase: "C",
+				TS: e.Cycle, PID: e.Core,
+				Args: map[string]any{"on": e.New},
+			})
+		case EvPhase:
+			out = append(out, chromeEvent{
+				Name: "measurement-start", Phase: "i",
+				TS: e.Cycle, PID: e.Core, Scope: "g",
+			})
+		default:
+			args := map[string]any{}
+			if e.Addr != 0 {
+				args["addr"] = fmt.Sprintf("0x%x", e.Addr)
+			}
+			if e.IP != 0 {
+				args["ip"] = fmt.Sprintf("0x%x", e.IP)
+			}
+			if e.Kind == EvClassTransition {
+				args["from"] = memsys.PrefetchClass(e.Old).String()
+				args["to"] = memsys.PrefetchClass(e.New).String()
+			}
+			out = append(out, chromeEvent{
+				Name:  fmt.Sprintf("%s %s", e.Kind, e.Class),
+				Phase: "i", TS: e.Cycle, PID: e.Core, TID: chromeTID(e),
+				Scope: "t", Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{out, "ms"})
+}

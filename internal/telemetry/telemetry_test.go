@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipcp/internal/memsys"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func ev(cycle int64, kind EventKind) Event {
+	return Event{Cycle: cycle, Kind: kind, Level: memsys.LevelL1D}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	if tr.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", tr.Cap())
+	}
+	for i := int64(0); i < 6; i++ {
+		tr.Emit(ev(i, EvIssued))
+	}
+	if tr.Len() != 4 {
+		t.Errorf("Len after overflow = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tr.Dropped())
+	}
+	got := tr.Events()
+	if len(got) != 4 {
+		t.Fatalf("Events() returned %d events", len(got))
+	}
+	// The two oldest events (cycles 0, 1) were overwritten; the rest
+	// must come back oldest first.
+	for i, e := range got {
+		if want := int64(i + 2); e.Cycle != want {
+			t.Errorf("event %d: cycle %d, want %d", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(ev(10, EvThrottle))
+	tr.Emit(ev(11, EvFill))
+	if tr.Len() != 2 || tr.Dropped() != 0 {
+		t.Errorf("Len=%d Dropped=%d, want 2 and 0", tr.Len(), tr.Dropped())
+	}
+	if n := tr.Count(EvThrottle); n != 1 {
+		t.Errorf("Count(EvThrottle) = %d, want 1", n)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || len(tr.Events()) != 0 {
+		t.Error("Reset did not clear the ring")
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	if c := NewTracer(0).Cap(); c != DefaultTracerCapacity {
+		t.Errorf("default capacity = %d, want %d", c, DefaultTracerCapacity)
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	// Every kind must have a distinct, non-placeholder name: the wire
+	// formats key on them.
+	seen := map[string]bool{}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		n := k.String()
+		if n == "" || strings.HasPrefix(n, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[n] {
+			t.Errorf("duplicate kind name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Cycle: 7, Kind: EvClassTransition, Level: memsys.LevelL1D,
+		Class: memsys.ClassGS, IP: 0x400100, Old: int(memsys.ClassNone),
+		New: int(memsys.ClassGS)})
+	tr.Emit(Event{Cycle: 9, Kind: EvThrottle, Level: memsys.LevelL1D,
+		Class: memsys.ClassCS, Old: 4, New: 2, Acc: 0.25})
+
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(&b)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v", len(lines)+1, err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	if lines[0]["kind"] != "class-transition" || lines[0]["ip"] != "0x400100" {
+		t.Errorf("first line = %v", lines[0])
+	}
+	if lines[1]["kind"] != "throttle" || lines[1]["acc"] != 0.25 {
+		t.Errorf("second line = %v", lines[1])
+	}
+}
+
+// goldenEvents is a small deterministic trace exercising every export
+// path: metadata lanes, counter tracks (throttle, NL gate), the phase
+// marker, and instant events with class-transition args.
+func goldenEvents() []Event {
+	return []Event{
+		{Cycle: 100, Kind: EvClassTransition, Level: memsys.LevelL1D,
+			Class: memsys.ClassCS, IP: 0x400010,
+			Old: int(memsys.ClassNone), New: int(memsys.ClassCS)},
+		{Cycle: 150, Kind: EvIssued, Level: memsys.LevelL1D,
+			Class: memsys.ClassCS, Addr: 0x10040, IP: 0x400010},
+		{Cycle: 180, Kind: EvRRFiltered, Level: memsys.LevelL1D,
+			Class: memsys.ClassCS, Addr: 0x10080, IP: 0x400010},
+		{Cycle: 200, Kind: EvNLGate, Level: memsys.LevelL1D, New: 1},
+		{Cycle: 220, Kind: EvFill, Level: memsys.LevelL1D,
+			Class: memsys.ClassCS, Addr: 0x10040},
+		{Cycle: 260, Kind: EvUseful, Level: memsys.LevelL1D,
+			Class: memsys.ClassCS, Addr: 0x10040},
+		{Cycle: 300, Kind: EvPhase, New: 1},
+		{Cycle: 340, Kind: EvPageClamped, Level: memsys.LevelL1D,
+			Class: memsys.ClassGS, Addr: 0x10fc0, IP: 0x400020},
+		{Cycle: 400, Kind: EvThrottle, Level: memsys.LevelL1D,
+			Class: memsys.ClassCS, Old: 4, New: 6, Acc: 0.875},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer(16)
+	for _, e := range goldenEvents() {
+		tr.Emit(e)
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry -update` to create it)", err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("Chrome trace drifted from golden file; "+
+			"rerun with -update if intentional\ngot:\n%s", b.String())
+	}
+
+	// Independently of the exact bytes, the output must be valid
+	// trace_event JSON with the expected structure.
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	counters, instants, metas := 0, 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "C":
+			counters++
+		case "i":
+			instants++
+		case "M":
+			metas++
+		default:
+			t.Errorf("unexpected phase %q in event %q", e.Phase, e.Name)
+		}
+	}
+	// 2 counters (nl-gate + throttle degree), 7 instants (everything
+	// else incl. the phase marker), plus one metadata record per lane.
+	if counters != 2 || instants != 7 || metas == 0 {
+		t.Errorf("event mix C=%d i=%d M=%d, want 2 counters and 7 instants",
+			counters, instants, metas)
+	}
+}
+
+func TestIntervalCSV(t *testing.T) {
+	log := NewIntervalLog(0)
+	if log.Every != DefaultInterval {
+		t.Errorf("default Every = %d, want %d", log.Every, DefaultInterval)
+	}
+	s := Sample{
+		StartCycle: 1000, EndCycle: 2000,
+		Instructions: 500, IPC: 0.5,
+		L1DMPKI: 12.5, L2MPKI: 4.0, LLCMPKI: 1.25,
+		DRAMBytes: 4096, DRAMBusUtil: 0.125,
+	}
+	s.Classes[memsys.ClassGS] = ClassSample{
+		Issued: 42, Fills: 40, Useful: 30, Degree: 4, Accuracy: 0.75,
+	}
+	log.Record(s)
+	log.Record(Sample{StartCycle: 2000, EndCycle: 3000})
+	if log.Len() != 2 {
+		t.Fatalf("Len = %d", log.Len())
+	}
+	if got := log.Samples()[1].Index; got != 1 {
+		t.Errorf("Record did not stamp index: %d", got)
+	}
+
+	var b bytes.Buffer
+	if err := log.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&b).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d CSV rows, want header + 2", len(rows))
+	}
+	header := CSVHeader()
+	if len(rows[0]) != len(header) {
+		t.Fatalf("header has %d columns, CSVHeader says %d",
+			len(rows[0]), len(header))
+	}
+	for i, col := range header {
+		if rows[0][i] != col {
+			t.Errorf("header column %d = %q, want %q", i, rows[0][i], col)
+		}
+	}
+	col := func(name string) string {
+		for i, c := range header {
+			if c == name {
+				return rows[1][i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+	if col("GS_issued") != "42" || col("GS_accuracy") != "0.7500" {
+		t.Errorf("GS columns = %s/%s, want 42/0.7500",
+			col("GS_issued"), col("GS_accuracy"))
+	}
+	if col("start_cycle") != "1000" || col("end_cycle") != "2000" {
+		t.Errorf("cycle bounds = %s..%s", col("start_cycle"), col("end_cycle"))
+	}
+}
+
+func TestIntervalJSONL(t *testing.T) {
+	log := NewIntervalLog(500)
+	log.Record(Sample{StartCycle: 0, EndCycle: 500, Instructions: 100})
+	var b bytes.Buffer
+	if err := log.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["instructions"] != float64(100) || m["end_cycle"] != float64(500) {
+		t.Errorf("JSONL sample = %v", m)
+	}
+}
+
+func TestSnapshotTotalIssued(t *testing.T) {
+	var s Snapshot
+	s.Classes[memsys.ClassCS].Issued = 3
+	s.Classes[memsys.ClassGS].Issued = 7
+	if got := s.TotalIssued(); got != 10 {
+		t.Errorf("TotalIssued = %d, want 10", got)
+	}
+}

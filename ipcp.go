@@ -25,6 +25,7 @@ import (
 	"ipcp/internal/memsys"
 	"ipcp/internal/prefetch"
 	"ipcp/internal/sim"
+	"ipcp/internal/telemetry"
 	"ipcp/internal/trace"
 	"ipcp/internal/workload"
 )
@@ -112,6 +113,15 @@ type RunConfig struct {
 	// System optionally overrides the whole system configuration
 	// (defaults to PaperSystem for the mix size).
 	System *SystemConfig
+
+	// Tracer, when non-nil, records structured telemetry events
+	// (prefetch lifecycle, class transitions, throttle decisions) for
+	// the measured phase. Nil keeps the hot path allocation-free.
+	Tracer *Tracer
+
+	// Intervals, when non-nil, receives one metrics Sample every
+	// Intervals.Every cycles of the measured phase.
+	Intervals *IntervalLog
 }
 
 // Run builds and runs one simulation.
@@ -159,6 +169,12 @@ func Run(rc RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rc.Tracer != nil {
+		sys.SetTracer(rc.Tracer)
+	}
+	if rc.Intervals != nil {
+		sys.SetIntervalLog(rc.Intervals)
+	}
 	warm, meas := rc.Warmup, rc.Measure
 	if warm == 0 {
 		warm = 50_000
@@ -188,6 +204,27 @@ func Speedup(workloadName, l1d, l2 string, warmup, measure uint64) (float64, err
 	}
 	return pf.IPC[0] / base.IPC[0], nil
 }
+
+// Telemetry surface, re-exported for observability tooling. A Tracer
+// records structured events into a bounded ring buffer (exportable as
+// JSONL or Chrome trace_event JSON); an IntervalLog collects the
+// per-epoch metrics timeline; an IPCPSnapshot is the per-class
+// introspection state attached to Result.
+type (
+	Tracer         = telemetry.Tracer
+	TraceEvent     = telemetry.Event
+	IntervalLog    = telemetry.IntervalLog
+	IntervalSample = telemetry.Sample
+	IPCPSnapshot   = telemetry.Snapshot
+)
+
+// NewTracer returns an event tracer retaining up to capacity events
+// (<= 0 selects the default capacity).
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
+
+// NewIntervalLog returns an interval-metrics log sampled every `every`
+// cycles (<= 0 selects the default period).
+func NewIntervalLog(every int64) *IntervalLog { return telemetry.NewIntervalLog(every) }
 
 // Class identifiers, re-exported for metadata-aware tooling.
 const (
