@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test bench
+.PHONY: check build vet test bench fuzz
 
 # Tier-1 gate: everything must pass before a change lands.
-check: build vet test
+check: build vet test fuzz
 
 build:
 	$(GO) build ./...
@@ -17,3 +17,7 @@ test:
 # Smoke-run every benchmark once (no timing significance).
 bench:
 	$(GO) test -bench . -benchtime=1x
+
+# Brief fuzz pass over the trace reader (longer runs: raise -fuzztime).
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReader$$' -fuzztime=10s

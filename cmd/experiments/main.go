@@ -3,15 +3,25 @@
 //	experiments -list
 //	experiments -run fig8,fig10
 //	experiments -run all -scale default -out EXPERIMENTS-data.md
+//	experiments -run all -cache-dir .ipcp-cache   # interruptible + resumable
+//
+// SIGINT/SIGTERM interrupt the run cooperatively: in-flight simulations
+// stop within a few thousand cycles, completed tables are flushed, and
+// the process exits 130. With -cache-dir every finished simulation is
+// checkpointed, so rerunning the same command resumes instead of
+// recomputing (-resume is shorthand for the default cache directory).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"ipcp/internal/experiments"
@@ -19,14 +29,16 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "", "comma-separated experiment ids, or 'all'")
-		scale   = flag.String("scale", "quick", "quick | default | full")
-		out     = flag.String("out", "", "write markdown to this file (default stdout)")
-		traces  = flag.Int("traces", 0, "override the trace cap (0 = scale default)")
-		mixes   = flag.Int("mixes", 0, "override the multi-core mix count")
-		warmup  = flag.Uint64("warmup", 0, "override warmup instructions")
-		measure = flag.Uint64("measure", 0, "override measured instructions")
-		list    = flag.Bool("list", false, "list experiments")
+		run      = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		scale    = flag.String("scale", "quick", "quick | default | full")
+		out      = flag.String("out", "", "write markdown to this file (default stdout)")
+		traces   = flag.Int("traces", 0, "override the trace cap (0 = scale default)")
+		mixes    = flag.Int("mixes", 0, "override the multi-core mix count")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions")
+		measure  = flag.Uint64("measure", 0, "override measured instructions")
+		list     = flag.Bool("list", false, "list experiments")
+		cacheDir = flag.String("cache-dir", "", "checkpoint finished simulations here and resume from them")
+		resume   = flag.Bool("resume", false, "shorthand for -cache-dir .ipcp-cache")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the harness to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -106,33 +118,79 @@ func main() {
 		ids = strings.Split(*run, ",")
 	}
 
-	session := experiments.NewSession(sc)
-	var b strings.Builder
-	for _, id := range ids {
-		e, err := experiments.ByID(strings.TrimSpace(id))
-		if err != nil {
+	// SIGINT/SIGTERM cancel the context; the cycle loops notice within a
+	// few thousand cycles and everything completed so far is flushed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	session := experiments.NewSessionContext(ctx, sc)
+	if *resume && *cacheDir == "" {
+		*cacheDir = ".ipcp-cache"
+	}
+	if *cacheDir != "" {
+		if err := session.SetCacheDir(*cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		start := time.Now()
-		fmt.Fprintf(os.Stderr, "running %s (%s)...", e.ID, e.Title)
-		tab, err := e.Run(session)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "\n%s: %v\n", e.ID, err)
-			os.Exit(1)
+		fmt.Fprintln(os.Stderr, "checkpointing results to", *cacheDir)
+	}
+
+	start := time.Now()
+	rep, err := experiments.RunIDs(ctx, session, ids,
+		func(res experiments.ExperimentResult, done bool) {
+			switch {
+			case !done:
+				fmt.Fprintf(os.Stderr, "running %s (%s)...", res.ID, res.Title)
+			case res.Err != nil:
+				fmt.Fprintf(os.Stderr, " failed after %.1fs: %v\n", res.Elapsed.Seconds(), res.Err)
+			default:
+				fmt.Fprintf(os.Stderr, " done in %.1fs\n", res.Elapsed.Seconds())
+			}
+		})
+	if err != nil {
+		// Only an unknown experiment id aborts before the loop finishes.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var b strings.Builder
+	for _, res := range rep.Results {
+		if res.Err != nil {
+			continue
 		}
-		fmt.Fprintf(os.Stderr, " done in %.1fs\n", time.Since(start).Seconds())
-		b.WriteString(tab.Markdown())
-		b.WriteString("\nPaper: " + e.Paper + "\n\n")
+		b.WriteString(res.Table.Markdown())
+		if e, err := experiments.ByID(res.ID); err == nil && e.Paper != "" {
+			b.WriteString("\nPaper: " + e.Paper + "\n")
+		}
+		b.WriteString("\n")
+	}
+	if failed := rep.Failed(); len(failed) > 0 {
+		b.WriteString("### failed experiments\n\n")
+		for _, res := range failed {
+			fmt.Fprintf(&b, "- %s: %v\n", res.ID, res.Err)
+		}
+		b.WriteString("\n")
+	}
+	if rep.Interrupted {
+		b.WriteString("> run interrupted: the tables above are the completed subset; " +
+			"rerun with the same -cache-dir to resume.\n")
 	}
 
 	if *out == "" {
 		fmt.Print(b.String())
-		return
-	}
-	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+	} else if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	} else {
+		fmt.Fprintln(os.Stderr, "wrote", *out)
 	}
-	fmt.Fprintln(os.Stderr, "wrote", *out)
+	fmt.Fprintf(os.Stderr, "%d experiments in %.1fs (%d simulations executed)\n",
+		len(rep.Results), time.Since(start).Seconds(), session.Executed())
+
+	switch {
+	case rep.Interrupted:
+		os.Exit(130)
+	case len(rep.Failed()) > 0:
+		os.Exit(1)
+	}
 }

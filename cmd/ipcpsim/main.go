@@ -15,13 +15,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"ipcp"
 	"ipcp/internal/memsys"
@@ -90,9 +94,18 @@ func main() {
 		rc.Intervals = ipcp.NewIntervalLog(*interval)
 	}
 
-	res, err := ipcp.Run(rc)
-	if err != nil {
+	// SIGINT/SIGTERM cancel the run cooperatively; telemetry collected up
+	// to the interruption is still flushed below before exiting 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := ipcp.RunContext(ctx, rc)
+	interrupted := err != nil && errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "ipcpsim: interrupted; flushing telemetry collected so far")
 	}
 
 	if *traceOut != "" {
@@ -110,6 +123,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ipcpsim: wrote %d interval samples to %s\n",
 				rc.Intervals.Len(), *metricsOut)
 		}
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 
 	if *jsonOut {

@@ -137,3 +137,31 @@ func TestCPLXDistanceSkipsNearCandidates(t *testing.T) {
 		t.Errorf("nearest CPLX candidate at +%d blocks; distance not applied", minDelta)
 	}
 }
+
+func TestNewTemporalTablePanicsOnBadSize(t *testing.T) {
+	cases := []struct {
+		name    string
+		entries int
+		panics  bool
+	}{
+		{"zero", 0, true},
+		{"negative", -1, true},
+		{"non-power-of-two", 1000, true},
+		{"power of two", 1024, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if tc.panics && r == nil {
+					t.Errorf("NewTemporalTable(%d) did not panic", tc.entries)
+				}
+				if !tc.panics && r != nil {
+					t.Errorf("NewTemporalTable(%d) panicked: %v", tc.entries, r)
+				}
+			}()
+			NewTemporalTable(tc.entries)
+		})
+	}
+}

@@ -177,10 +177,10 @@ func init() {
 				specs = append(specs,
 					RunSpec{Workloads: []string{n}},
 					RunSpec{Workloads: []string{n}, ConfigKey: "temporal-on", L2: "ipcp",
-						L1DNew: func() prefetch.Prefetcher {
+						L1DNew: func() (prefetch.Prefetcher, error) {
 							p := core.NewL1IPCP(core.DefaultL1Config())
 							p.EnableTemporal(1024)
-							return p
+							return p, nil
 						}})
 			}
 			results, err := s.RunAll(specs)

@@ -11,11 +11,11 @@ import (
 
 // ipcpVariant builds an L1 IPCP with the given config mutation, keyed
 // for the session cache.
-func ipcpVariant(key string, mutate func(*core.L1Config)) (string, func() prefetch.Prefetcher) {
-	return key, func() prefetch.Prefetcher {
+func ipcpVariant(key string, mutate func(*core.L1Config)) (string, func() (prefetch.Prefetcher, error)) {
+	return key, func() (prefetch.Prefetcher, error) {
 		cfg := core.DefaultL1Config()
 		mutate(&cfg)
-		return core.NewL1IPCP(cfg)
+		return core.NewL1IPCP(cfg), nil
 	}
 }
 

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ipcp/internal/sim"
+)
+
+// diskCache is the Session's persistent checkpoint store: one JSON file
+// per simulation result, content-addressed by the SHA-256 of the run's
+// full identity (workload + configuration + scale). An interrupted or
+// crashed experiment invocation resumes by pointing a new session at
+// the same directory; completed runs load from disk and only the
+// missing ones recompute. Simulations are deterministic, so a resumed
+// session reproduces byte-identical tables.
+//
+// The cache is defensive end to end: a corrupt, truncated or
+// mismatched entry is treated as a miss (and removed) rather than an
+// error, and writes go through a temp file + rename so a crash
+// mid-store can never leave a half-written entry behind.
+type diskCache struct {
+	dir string
+}
+
+// newDiskCache creates (if needed) and validates the cache directory.
+func newDiskCache(dir string) (*diskCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("experiments: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: creating cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+// diskKey derives the content address for one memoization key under
+// this session's scale. Scale fields that alter a run's outcome are
+// part of the identity, so one directory safely serves any mix of
+// scales.
+func (s *Session) diskKey(specKey string) string {
+	h := sha256.Sum256(fmt.Appendf(nil, "ipcp-run-v1|%d|%d|%d|%s",
+		s.Scale.Warmup, s.Scale.Measure, s.Scale.Seed, specKey))
+	return hex.EncodeToString(h[:])
+}
+
+// entry is the on-disk form: the spec key is stored alongside the
+// result so a (vanishingly unlikely) hash collision or a stale file
+// from an older key scheme is detected instead of silently served.
+type entry struct {
+	Spec   string      `json:"spec"`
+	Result *sim.Result `json:"result"`
+}
+
+// path shards entries by the first key byte to keep directories small.
+func (d *diskCache) path(key string) string {
+	return filepath.Join(d.dir, key[:2], key+".json")
+}
+
+// load returns the cached result for key, or ok=false on any miss or
+// damage (damaged entries are removed so the rewritten entry is clean).
+func (d *diskCache) load(key, specKey string) (*sim.Result, bool) {
+	p := d.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Spec != specKey || e.Result == nil {
+		os.Remove(p)
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// store checkpoints one result. Failures are deliberately non-fatal:
+// a read-only or full disk degrades the cache to a no-op rather than
+// failing the run that produced the result.
+func (d *diskCache) store(key, specKey string, res *sim.Result) {
+	data, err := json.Marshal(entry{Spec: specKey, Result: res})
+	if err != nil {
+		return
+	}
+	p := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -10,8 +10,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -86,6 +90,12 @@ func (t *Table) Markdown() string {
 		cells := make([]string, 0, len(r.Values)+1)
 		cells = append(cells, r.Label)
 		for _, v := range r.Values {
+			if math.IsNaN(v) {
+				// A failed run degrades to an n/a cell (see Notes for
+				// the fault) instead of poisoning the whole table.
+				cells = append(cells, "n/a")
+				continue
+			}
 			cells = append(cells, fmt.Sprintf("%.3f", v))
 		}
 		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
@@ -136,9 +146,11 @@ type RunSpec struct {
 
 	// Prefetcher names per level ("" = none). ConfigKey + New allow
 	// custom-configured prefetchers; ConfigKey must uniquely describe
-	// the configuration for caching.
+	// the configuration for caching. A construction error propagates
+	// through the worker's error channel instead of crashing the
+	// process.
 	L1D, L2, LLC string
-	L1DNew       func() prefetch.Prefetcher
+	L1DNew       func() (prefetch.Prefetcher, error)
 	ConfigKey    string
 
 	// System knobs (zero values = PaperConfig defaults).
@@ -160,50 +172,179 @@ func (r RunSpec) key() string {
 		r.LLCSetsPerCore, r.Seed)
 }
 
+// PanicError wraps a panic recovered in a simulation worker: the
+// panicking run becomes an error row instead of killing the whole
+// experiment session.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("run panicked: %v", e.Value) }
+
+// RunFault records one degraded (failed but non-fatal) simulation run.
+type RunFault struct {
+	Spec      string // memoization key of the failed run
+	Workloads []string
+	Err       error
+}
+
+// fatal reports whether err must abort the session (cancellation)
+// rather than degrade to an n/a cell (everything else: panics, corrupt
+// traces, cycle-limit blowups, bad configs).
+func fatal(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// outcome is one memoized run: a result or its (non-fatal) error.
+// Errors are memoized too, so a failing spec reports the same fault
+// everywhere it appears instead of recomputing the failure.
+type outcome struct {
+	res *sim.Result
+	err error
+}
+
 // Session memoizes simulation results for one Scale.
 type Session struct {
 	Scale Scale
 
-	mu    sync.Mutex
-	cache map[string]*sim.Result
-	sem   chan struct{}
+	ctx  context.Context
+	disk *diskCache
+
+	mu       sync.Mutex
+	cache    map[string]*outcome
+	faults   []RunFault
+	executed int
+	sem      chan struct{}
 }
 
 // NewSession returns a Session running at the given scale.
 func NewSession(s Scale) *Session {
+	return NewSessionContext(context.Background(), s)
+}
+
+// NewSessionContext returns a Session whose runs are cancelled when ctx
+// is: in-flight simulations stop within a few thousand cycles, queued
+// ones never start, and already-memoized results stay available.
+func NewSessionContext(ctx context.Context, s Scale) *Session {
 	n := runtime.NumCPU()
 	if n < 1 {
 		n = 1
 	}
 	return &Session{
 		Scale: s,
-		cache: make(map[string]*sim.Result),
+		ctx:   ctx,
+		cache: make(map[string]*outcome),
 		sem:   make(chan struct{}, n),
 	}
+}
+
+// SetCacheDir attaches a persistent result cache rooted at dir
+// (created if missing): every memoized result is also checkpointed to
+// disk, and later sessions — including a rerun after a crash or SIGINT
+// — resume from it instead of recomputing. Results are keyed by
+// workload + configuration + scale, so a cache directory can be shared
+// across scales safely.
+func (s *Session) SetCacheDir(dir string) error {
+	d, err := newDiskCache(dir)
+	if err != nil {
+		return err
+	}
+	s.disk = d
+	return nil
+}
+
+// Faults returns the degraded runs recorded so far (rendered as n/a
+// cells in tables).
+func (s *Session) Faults() []RunFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RunFault(nil), s.faults...)
+}
+
+// Executed returns how many simulations actually ran (memoization and
+// disk-cache hits excluded); tests use it to prove resume works.
+func (s *Session) Executed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.executed
 }
 
 // Run executes (or recalls) one simulation.
 func (s *Session) Run(spec RunSpec) (*sim.Result, error) {
 	k := spec.key()
 	s.mu.Lock()
-	if r, ok := s.cache[k]; ok {
+	if o, ok := s.cache[k]; ok {
 		s.mu.Unlock()
-		return r, nil
+		return o.res, o.err
 	}
 	s.mu.Unlock()
 
-	res, err := s.execute(spec)
-	if err != nil {
+	if err := s.ctx.Err(); err != nil {
 		return nil, err
 	}
+
+	if s.disk != nil {
+		if res, ok := s.disk.load(s.diskKey(k), k); ok {
+			s.mu.Lock()
+			s.cache[k] = &outcome{res: res}
+			s.mu.Unlock()
+			return res, nil
+		}
+	}
+
+	res, err := s.execute(spec)
+	if err != nil {
+		if fatal(err) {
+			// Cancellation is not memoized: a resumed session must
+			// re-run the interrupted spec, not replay the interruption.
+			return nil, err
+		}
+		s.mu.Lock()
+		s.cache[k] = &outcome{err: err}
+		s.faults = append(s.faults, RunFault{Spec: k, Workloads: spec.Workloads, Err: err})
+		s.mu.Unlock()
+		return nil, err
+	}
+	if s.disk != nil {
+		s.disk.store(s.diskKey(k), k, res)
+	}
 	s.mu.Lock()
-	s.cache[k] = res
+	s.cache[k] = &outcome{res: res}
 	s.mu.Unlock()
 	return res, nil
 }
 
-// RunAll executes the specs concurrently and returns results in order.
+// RunAll executes the specs concurrently and returns results in order;
+// any run's failure fails the whole call (cancellation reported in
+// preference to incidental errors). Experiments that can degrade
+// per-run use RunAllPartial instead.
 func (s *Session) RunAll(specs []RunSpec) ([]*sim.Result, error) {
+	results, errs := s.RunAllPartial(specs)
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fatal(err) {
+			return nil, err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}
+
+// RunAllPartial executes the specs concurrently and returns results and
+// errors in spec order: entry i holds either a result or that run's
+// error, so callers can degrade failed runs to n/a cells while keeping
+// the healthy ones.
+func (s *Session) RunAllPartial(specs []RunSpec) ([]*sim.Result, []error) {
 	results := make([]*sim.Result, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
@@ -217,15 +358,22 @@ func (s *Session) RunAll(specs []RunSpec) ([]*sim.Result, error) {
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return results, errs
 }
 
-func (s *Session) execute(spec RunSpec) (*sim.Result, error) {
+func (s *Session) execute(spec RunSpec) (res *sim.Result, err error) {
+	s.mu.Lock()
+	s.executed++
+	s.mu.Unlock()
+	// A panic anywhere in the build or the cycle loop — a buggy
+	// prefetcher constructor, a corrupt trace stream, a simulator bug —
+	// is converted into this run's error instead of crashing the whole
+	// session.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	cores := spec.Cores
 	if cores == 0 {
 		cores = len(spec.Workloads)
@@ -278,7 +426,7 @@ func (s *Session) execute(spec RunSpec) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run(s.Scale.Warmup, s.Scale.Measure)
+	return sys.RunContext(s.ctx, s.Scale.Warmup, s.Scale.Measure)
 }
 
 // capSpread caps a sorted name list by taking evenly spaced entries,

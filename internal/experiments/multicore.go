@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -28,9 +29,14 @@ func weightedSpeedup(s *Session, mix []string, c Combo) (float64, error) {
 			DRAMGBps:       12.8 * 2, // the multi-core system's two channels
 		})
 	}
-	results, err := s.RunAll(specs)
-	if err != nil {
-		return 0, err
+	results, errs := s.RunAllPartial(specs)
+	if err := firstError(errs...); err != nil {
+		// A failed run degrades this mix's metric to NaN (an n/a cell);
+		// only cancellation aborts the experiment.
+		if fatal(err) {
+			return 0, err
+		}
+		return math.NaN(), nil
 	}
 	together := results[0].IPC
 	alone := make([]float64, n)

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipcp/internal/faultinject"
+	"ipcp/internal/prefetch"
+	"ipcp/internal/trace"
+	"ipcp/internal/workload"
+)
+
+// The robustness suite proves the harness's survival guarantees: a
+// panicking prefetcher, a panicking or dead instruction stream, a
+// cancelled context, and a corrupted cache entry each leave the session
+// standing — degraded, flushed or resumed, never crashed.
+
+func init() {
+	// A stream that panics mid-measure, registered once for the whole
+	// test binary (suite "test" keeps it out of the experiment suites).
+	workload.Register(workload.Spec{
+		Name: "fi-panic-stream", Suite: "test",
+		NewStream: func(seed int64) trace.Stream {
+			return &faultinject.PanicStream{
+				Inner:   &trace.SliceStream{Instrs: []trace.Instr{{IP: 0x400000, Loads: [trace.MaxLoads]uint64{0x10000}}}, Loop: true},
+				PanicAt: 5_000,
+			}
+		},
+	})
+	workload.Register(workload.Spec{
+		Name: "fi-dead-stream", Suite: "test",
+		NewStream: func(seed int64) trace.Stream { return faultinject.DeadStream{} },
+	})
+}
+
+func TestPrefetcherPanicIsGuarded(t *testing.T) {
+	s := NewSession(tiny)
+	res, err := s.Run(RunSpec{
+		Workloads: []string{"bwaves-98"},
+		ConfigKey: "fi-guarded-panic",
+		L1DNew: func() (prefetch.Prefetcher, error) {
+			return &faultinject.PanicPrefetcher{PanicAt: 100}, nil
+		},
+	})
+	// The guard absorbs the panic: the run completes unprefetched and
+	// records the trip.
+	if err != nil {
+		t.Fatalf("guarded panicking prefetcher failed the run: %v", err)
+	}
+	if len(res.PrefetcherFaults) != 1 {
+		t.Fatalf("PrefetcherFaults = %+v, want exactly one trip", res.PrefetcherFaults)
+	}
+	f := res.PrefetcherFaults[0]
+	if f.Level != "L1D" || !strings.Contains(f.Reason, "panic") {
+		t.Errorf("fault = %+v", f)
+	}
+	if res.IPC[0] <= 0 {
+		t.Errorf("IPC = %v; the run must still have made progress", res.IPC)
+	}
+}
+
+func TestRunawayPrefetcherIsGuarded(t *testing.T) {
+	s := NewSession(tiny)
+	res, err := s.Run(RunSpec{
+		Workloads: []string{"bwaves-98"},
+		ConfigKey: "fi-runaway",
+		L1DNew: func() (prefetch.Prefetcher, error) {
+			return &faultinject.RunawayPrefetcher{Flood: 100_000}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("guarded runaway prefetcher failed the run: %v", err)
+	}
+	if len(res.PrefetcherFaults) != 1 {
+		t.Fatalf("PrefetcherFaults = %+v, want one budget trip", res.PrefetcherFaults)
+	}
+	if !strings.Contains(res.PrefetcherFaults[0].Reason, "budget") {
+		t.Errorf("trip reason = %q, want a budget violation", res.PrefetcherFaults[0].Reason)
+	}
+}
+
+func TestUnguardedPrefetcherPanicDegrades(t *testing.T) {
+	// With the guard off (DisableGuard is only reachable through sim
+	// configs, so simulate the equivalent: a panic outside prefetcher
+	// hooks) a worker panic must become a PanicError, not a crash. The
+	// panicking stream exercises exactly that path.
+	s := NewSession(tiny)
+	_, err := s.Run(RunSpec{Workloads: []string{"fi-panic-stream"}})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a PanicError", err)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "stream panic") {
+		t.Errorf("PanicError = %q (stack %d bytes)", pe.Error(), len(pe.Stack))
+	}
+	if got := s.Faults(); len(got) != 1 {
+		t.Errorf("Faults = %+v, want the one degraded run", got)
+	}
+	// The error is memoized: re-running the spec replays the fault
+	// without executing again.
+	before := s.Executed()
+	if _, err2 := s.Run(RunSpec{Workloads: []string{"fi-panic-stream"}}); !errors.As(err2, &pe) {
+		t.Errorf("memoized rerun: err = %v", err2)
+	}
+	if s.Executed() != before {
+		t.Error("failed spec re-executed instead of replaying the memoized fault")
+	}
+	// And a degraded run does not poison healthy ones.
+	if _, err := s.Run(RunSpec{Workloads: []string{"bwaves-98"}}); err != nil {
+		t.Errorf("healthy run after a fault: %v", err)
+	}
+}
+
+func TestDeadStreamDegrades(t *testing.T) {
+	s := NewSession(tiny)
+	_, err := s.Run(RunSpec{Workloads: []string{"fi-dead-stream"}})
+	if err == nil {
+		t.Fatal("dead stream produced a result")
+	}
+	if fatal(err) {
+		t.Errorf("dead stream error is fatal: %v", err)
+	}
+}
+
+func TestSpeedupsDegradeToNaN(t *testing.T) {
+	s := NewSession(tiny)
+	sp, err := Speedups(s, []string{"fi-panic-stream", "bwaves-98"}, Combo{Name: "none"})
+	if err != nil {
+		t.Fatalf("Speedups aborted on a degradable fault: %v", err)
+	}
+	if !math.IsNaN(sp[0]) {
+		t.Errorf("faulty workload speedup = %v, want NaN", sp[0])
+	}
+	if math.IsNaN(sp[1]) || sp[1] <= 0 {
+		t.Errorf("healthy workload speedup = %v", sp[1])
+	}
+}
+
+func TestCancellationAbortsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: nothing may execute
+	s := NewSessionContext(ctx, tiny)
+	_, err := s.Run(RunSpec{Workloads: []string{"bwaves-98"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Executed() != 0 {
+		t.Errorf("Executed = %d after pre-cancelled context", s.Executed())
+	}
+	// Cancellation is NOT memoized: a fresh session can run the spec.
+	s2 := NewSession(tiny)
+	if _, err := s2.Run(RunSpec{Workloads: []string{"bwaves-98"}}); err != nil {
+		t.Errorf("fresh session after cancellation: %v", err)
+	}
+}
+
+// registerTestExperiments adds two tiny experiments and returns a
+// cleanup restoring the registry.
+func registerTestExperiments(t *testing.T) (idA, idB string) {
+	t.Helper()
+	n := len(registry)
+	run := func(w string) func(*Session) (*Table, error) {
+		return func(s *Session) (*Table, error) {
+			res, err := s.Run(RunSpec{Workloads: []string{w}})
+			if err != nil {
+				return nil, err
+			}
+			tab := &Table{ID: "rob-" + w, Title: "robustness probe " + w, Columns: []string{"ipc"}}
+			tab.AddRow(w, res.IPC[0])
+			return tab, nil
+		}
+	}
+	register(Experiment{ID: "rob-a", Title: "probe a", Run: run("bwaves-98")})
+	register(Experiment{ID: "rob-b", Title: "probe b", Run: run("lbm-94")})
+	t.Cleanup(func() { registry = registry[:n] })
+	return "rob-a", "rob-b"
+}
+
+func TestRunIDsFlushesCompletedOnCancel(t *testing.T) {
+	idA, idB := registerTestExperiments(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSessionContext(ctx, tiny)
+	// Cancel as soon as the first experiment finishes: the second must
+	// not run, and the first's table must still be in the report.
+	rep, err := RunIDs(ctx, s, []string{idA, idB}, func(res ExperimentResult, done bool) {
+		if done && res.ID == idA {
+			cancel()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Interrupted {
+		t.Error("report not marked interrupted")
+	}
+	if len(rep.Results) != 1 || rep.Results[0].ID != idA || rep.Results[0].Err != nil {
+		t.Fatalf("results = %+v, want the completed first experiment only", rep.Results)
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "robustness probe bwaves-98") {
+		t.Errorf("completed table missing from flushed report:\n%s", md)
+	}
+	if !strings.Contains(md, "interrupted") {
+		t.Errorf("interruption note missing:\n%s", md)
+	}
+}
+
+func TestRunIDsIsolatesExperimentFailure(t *testing.T) {
+	idA, _ := registerTestExperiments(t)
+	n := len(registry)
+	register(Experiment{ID: "rob-boom", Title: "panicking experiment",
+		Run: func(*Session) (*Table, error) { panic("experiment bug") }})
+	t.Cleanup(func() { registry = registry[:n] })
+
+	s := NewSession(tiny)
+	rep, err := RunIDs(context.Background(), s, []string{"rob-boom", idA}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interrupted {
+		t.Error("an experiment panic must not read as interruption")
+	}
+	if len(rep.Failed()) != 1 || rep.Failed()[0].ID != "rob-boom" {
+		t.Fatalf("failed = %+v", rep.Failed())
+	}
+	if len(rep.Results) != 2 || rep.Results[1].Err != nil {
+		t.Fatalf("the healthy experiment after the panic did not complete: %+v", rep.Results)
+	}
+	if !strings.Contains(rep.Markdown(), "failed experiments") {
+		t.Error("failure section missing from the report")
+	}
+}
+
+func TestDiskCacheResumeByteIdentical(t *testing.T) {
+	idA, idB := registerTestExperiments(t)
+	dir := t.TempDir()
+
+	s1 := NewSession(tiny)
+	if err := s1.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := RunIDs(context.Background(), s1, []string{idA, idB}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Executed() == 0 {
+		t.Fatal("first session executed nothing")
+	}
+
+	// A second session over the same cache dir resumes: zero executions,
+	// byte-identical report.
+	s2 := NewSession(tiny)
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := RunIDs(context.Background(), s2, []string{idA, idB}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Executed() != 0 {
+		t.Errorf("resumed session executed %d runs, want 0", s2.Executed())
+	}
+	if rep1.Markdown() != rep2.Markdown() {
+		t.Errorf("resumed report differs:\n--- first\n%s\n--- resumed\n%s",
+			rep1.Markdown(), rep2.Markdown())
+	}
+}
+
+func TestCorruptCacheEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	spec := RunSpec{Workloads: []string{"bwaves-98"}}
+
+	s1 := NewSession(tiny)
+	if err := s1.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s1.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Vandalize every cached entry.
+	entries, err := filepath.Glob(filepath.Join(dir, "*", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written (err=%v)", err)
+	}
+	for _, p := range entries {
+		if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := NewSession(tiny)
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Run(spec)
+	if err != nil {
+		t.Fatalf("corrupt cache entry surfaced as an error: %v", err)
+	}
+	if s2.Executed() != 1 {
+		t.Errorf("Executed = %d, want 1 (silent recompute)", s2.Executed())
+	}
+	if got.IPC[0] != want.IPC[0] {
+		t.Errorf("recomputed IPC %v != original %v", got.IPC, want.IPC)
+	}
+}
+
+func TestDiskCacheKeyMismatchIsMiss(t *testing.T) {
+	// Two specs never share an entry even if a hash collision is forced:
+	// load verifies the stored spec key.
+	s := NewSession(tiny)
+	if err := s.SetCacheDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	k := RunSpec{Workloads: []string{"bwaves-98"}}.key()
+	res, err := s.Run(RunSpec{Workloads: []string{"bwaves-98"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.disk.store(s.diskKey(k), "some-other-spec", res)
+	if _, ok := s.disk.load(s.diskKey(k), k); ok {
+		t.Error("load accepted an entry whose spec key differs")
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"ipcp/internal/memsys"
 	"ipcp/internal/prefetch"
@@ -9,7 +10,10 @@ import (
 )
 
 // Speedups runs the given combo over the workload list and returns the
-// per-trace speedups over the shared no-prefetching baseline.
+// per-trace speedups over the shared no-prefetching baseline. A failed
+// run (panic, corrupt trace, cycle-limit blowup) degrades that trace's
+// entry to NaN — rendered as n/a, recorded in Session.Faults() — while
+// the remaining traces stay exact; only cancellation aborts the call.
 func Speedups(s *Session, names []string, c Combo) ([]float64, error) {
 	specs := make([]RunSpec, 0, 2*len(names))
 	for _, n := range names {
@@ -17,15 +21,29 @@ func Speedups(s *Session, names []string, c Combo) ([]float64, error) {
 			RunSpec{Workloads: []string{n}},
 			RunSpec{Workloads: []string{n}, L1D: c.L1D, L2: c.L2, LLC: c.LLC, ConfigKey: c.Name})
 	}
-	results, err := s.RunAll(specs)
-	if err != nil {
-		return nil, err
-	}
+	results, errs := s.RunAllPartial(specs)
 	out := make([]float64, len(names))
 	for i := range names {
+		if err := firstError(errs[2*i], errs[2*i+1]); err != nil {
+			if fatal(err) {
+				return nil, err
+			}
+			out[i] = math.NaN()
+			continue
+		}
 		out[i] = stats.Speedup(results[2*i+1].IPC[0], results[2*i].IPC[0])
 	}
 	return out, nil
+}
+
+// firstError returns the first non-nil error.
+func firstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // --- Fig. 1: utility of L1-D prefetching ----------------------------------
@@ -59,12 +77,14 @@ func runFig1(s *Session) (*Table, error) {
 			}},
 			{"l1fill2", func(n string) RunSpec {
 				return RunSpec{Workloads: []string{n},
-					L1DNew: func() prefetch.Prefetcher {
+					L1DNew: func() (prefetch.Prefetcher, error) {
 						p, err := prefetch.New(pf, memsys.LevelL1D)
 						if err != nil {
-							panic(err)
+							// Propagated through the worker's error
+							// channel; never panic in a worker.
+							return nil, err
 						}
-						return prefetch.FillAt{Inner: p, Level: memsys.LevelL2}
+						return prefetch.FillAt{Inner: p, Level: memsys.LevelL2}, nil
 					},
 					ConfigKey: "fig1-l1fill2-" + pf}
 			}},

@@ -1,0 +1,33 @@
+package prefetch
+
+import "testing"
+
+func TestNewIPStrideSizedPanicsOnBadSize(t *testing.T) {
+	cases := []struct {
+		name    string
+		entries int
+		panics  bool
+	}{
+		{"zero", 0, true},
+		{"negative", -8, true},
+		{"non-power-of-two", 48, true},
+		{"one", 1, false},
+		{"sixty-four", 64, false},
+		{"large power of two", 1 << 16, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if tc.panics && r == nil {
+					t.Errorf("NewIPStrideSized(%d, 3) did not panic", tc.entries)
+				}
+				if !tc.panics && r != nil {
+					t.Errorf("NewIPStrideSized(%d, 3) panicked: %v", tc.entries, r)
+				}
+			}()
+			NewIPStrideSized(tc.entries, 3)
+		})
+	}
+}

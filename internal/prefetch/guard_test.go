@@ -1,0 +1,168 @@
+package prefetch
+
+import (
+	"strings"
+	"testing"
+
+	"ipcp/internal/memsys"
+	"ipcp/internal/telemetry"
+)
+
+// bomb panics on the Nth Operate call.
+type bomb struct {
+	Nil
+	at, calls int
+}
+
+func (b *bomb) Name() string { return "bomb" }
+
+func (b *bomb) Operate(now int64, a *Access, iss Issuer) {
+	b.calls++
+	if b.calls == b.at {
+		panic("kaboom")
+	}
+	iss.Issue(Candidate{Addr: a.Addr + memsys.BlockSize})
+}
+
+// flood issues n candidates per Operate.
+type flood struct {
+	Nil
+	n int
+	// far places every candidate far from the trigger (for distance
+	// tests).
+	far bool
+}
+
+func (f *flood) Name() string { return "flood" }
+
+func (f *flood) Operate(now int64, a *Access, iss Issuer) {
+	for i := 1; i <= f.n; i++ {
+		addr := a.Addr + memsys.Addr(i)*memsys.BlockSize
+		if f.far {
+			addr = a.Addr + memsys.Addr(i)*(1<<30)
+		}
+		iss.Issue(Candidate{Addr: addr})
+	}
+}
+
+type sink struct{ n int }
+
+func (s *sink) Issue(Candidate) bool { s.n++; return true }
+
+func TestGuardRecoversPanicAndDisables(t *testing.T) {
+	b := &bomb{at: 3}
+	g := NewGuard(b, memsys.LevelL1D)
+	var iss sink
+	a := &Access{Addr: 0x1000}
+	for i := 0; i < 10; i++ {
+		g.Operate(int64(i), a, &iss)
+	}
+	if dis, reason := g.Disabled(); !dis {
+		t.Fatal("guard did not trip on panic")
+	} else if !strings.Contains(reason, "panic in bomb.Operate") {
+		t.Errorf("trip reason = %q", reason)
+	}
+	if g.Stats.Panics != 1 {
+		t.Errorf("Panics = %d, want 1", g.Stats.Panics)
+	}
+	if len(g.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	// Calls 1 and 2 issued; the rest were dropped.
+	if iss.n != 2 {
+		t.Errorf("issued %d candidates, want 2", iss.n)
+	}
+	if g.Stats.DroppedCalls != 7 {
+		t.Errorf("DroppedCalls = %d, want 7", g.Stats.DroppedCalls)
+	}
+}
+
+func TestGuardCapsRunawayIssuer(t *testing.T) {
+	f := &flood{n: 100_000}
+	g := NewGuardConfigured(f, memsys.LevelL2, GuardConfig{MaxPerOperate: 256, MaxStrikes: 1})
+	var iss sink
+	g.Operate(0, &Access{Addr: 0x1000}, &iss)
+	if iss.n != 256 {
+		t.Errorf("issued %d candidates past the guard, want 256", iss.n)
+	}
+	if dis, _ := g.Disabled(); !dis {
+		t.Error("guard did not trip after the violation")
+	}
+	if g.Stats.BudgetViolations == 0 {
+		t.Error("no budget violations counted")
+	}
+}
+
+func TestGuardPageDistanceOptIn(t *testing.T) {
+	// Default config: distance unbounded — far candidates pass.
+	f := &flood{n: 4, far: true}
+	g := NewGuard(f, memsys.LevelL1D)
+	var iss sink
+	g.Operate(0, &Access{Addr: 0x1000}, &iss)
+	if iss.n != 4 {
+		t.Errorf("unbounded guard issued %d, want 4", iss.n)
+	}
+
+	// Strict config: far candidates are struck down.
+	g2 := NewGuardConfigured(&flood{n: 4, far: true}, memsys.LevelL1D,
+		GuardConfig{MaxPageDistance: 2, MaxStrikes: 100})
+	var iss2 sink
+	g2.Operate(0, &Access{Addr: 0x1000}, &iss2)
+	if iss2.n != 0 {
+		t.Errorf("strict guard issued %d far candidates, want 0", iss2.n)
+	}
+	if g2.Stats.BudgetViolations != 4 {
+		t.Errorf("BudgetViolations = %d, want 4", g2.Stats.BudgetViolations)
+	}
+	if dis, _ := g2.Disabled(); dis {
+		t.Error("guard tripped below MaxStrikes")
+	}
+
+	// Near candidates always pass under the strict config too.
+	g3 := NewGuardConfigured(&flood{n: 4}, memsys.LevelL1D,
+		GuardConfig{MaxPageDistance: 2, MaxStrikes: 100})
+	var iss3 sink
+	g3.Operate(0, &Access{Addr: 0x1000}, &iss3)
+	if iss3.n != 4 {
+		t.Errorf("strict guard issued %d near candidates, want 4", iss3.n)
+	}
+}
+
+func TestGuardTripEmitsTelemetry(t *testing.T) {
+	b := &bomb{at: 1}
+	g := NewGuard(b, memsys.LevelL2)
+	tr := telemetry.NewTracer(16)
+	g.SetTracer(tr, 3)
+	g.Operate(42, &Access{Addr: 0x1000}, &sink{})
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != telemetry.EvGuardTrip || ev.Cycle != 42 || ev.Core != 3 || ev.Level != memsys.LevelL2 {
+		t.Errorf("trip event = %+v", ev)
+	}
+}
+
+func TestUnwrapped(t *testing.T) {
+	inner := &flood{n: 1}
+	var p Prefetcher = NewGuard(NewGuard(inner, memsys.LevelL1D), memsys.LevelL1D)
+	if got := Unwrapped(p); got != inner {
+		t.Errorf("Unwrapped = %T, want the inner flood", got)
+	}
+	if got := Unwrapped(inner); got != inner {
+		t.Error("Unwrapped on an unwrapped prefetcher must be identity")
+	}
+}
+
+func TestGuardRegistryDuplicatePanics(t *testing.T) {
+	const name = "guard-test-dup"
+	Register(name, func(Level) Prefetcher { return Nil{} })
+	defer delete(registry, name) // keep the registry clean for Names()-driven tests
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(name, func(Level) Prefetcher { return Nil{} })
+}

@@ -12,15 +12,17 @@ import (
 
 // PrefetcherSpec selects the prefetcher for one cache level: either a
 // registered name, or an explicit constructor (which wins when both are
-// set). The zero value means "no prefetching".
+// set). The zero value means "no prefetching". A constructor error
+// aborts the build cleanly instead of crashing the worker that called
+// it.
 type PrefetcherSpec struct {
 	Name string
-	New  func() prefetch.Prefetcher
+	New  func() (prefetch.Prefetcher, error)
 }
 
 func (s PrefetcherSpec) build(level memsys.Level) (prefetch.Prefetcher, error) {
 	if s.New != nil {
-		return s.New(), nil
+		return s.New()
 	}
 	return prefetch.New(s.Name, level)
 }
@@ -28,7 +30,10 @@ func (s PrefetcherSpec) build(level memsys.Level) (prefetch.Prefetcher, error) {
 // String names the spec for reports.
 func (s PrefetcherSpec) String() string {
 	if s.New != nil {
-		p := s.New()
+		p, err := s.New()
+		if err != nil {
+			return fmt.Sprintf("error(%v)", err)
+		}
 		return p.Name()
 	}
 	if s.Name == "" {
@@ -55,6 +60,14 @@ type Config struct {
 
 	// Seed drives physical page allocation.
 	Seed int64
+
+	// DisableGuard turns off the fail-safe prefetch.Guard wrapper that
+	// Build places around every attached prefetcher. Guarded is the
+	// default: a panicking or budget-violating prefetcher is disabled
+	// for the rest of the run (recorded in Result.PrefetcherFaults)
+	// and the simulation continues unprefetched, mirroring hardware
+	// fail-safety. Tests that want raw panics opt out.
+	DisableGuard bool
 
 	// MaxCycles aborts a run that fails to make progress (a deadlock
 	// guard; 0 means a generous default is derived from the

@@ -14,9 +14,9 @@ func TestMetadataReachesL2(t *testing.T) {
 	cfg := PaperConfig(1)
 	cfg.L1DPrefetcher = PrefetcherSpec{Name: "ipcp"}
 	var l2p *core.L2IPCP
-	cfg.L2Prefetcher = PrefetcherSpec{New: func() prefetch.Prefetcher {
+	cfg.L2Prefetcher = PrefetcherSpec{New: func() (prefetch.Prefetcher, error) {
 		l2p = core.NewL2IPCP(core.DefaultL2Config())
-		return l2p
+		return l2p, nil
 	}}
 	sys, err := Build(cfg, streamsFor(t, []string{"bwaves-98"}, 1))
 	if err != nil {
@@ -44,13 +44,13 @@ func TestMetadataOffRemovesL2Prefetching(t *testing.T) {
 	cfg := PaperConfig(1)
 	l1cfg := core.DefaultL1Config()
 	l1cfg.EmitMetadata = false
-	cfg.L1DPrefetcher = PrefetcherSpec{New: func() prefetch.Prefetcher {
-		return core.NewL1IPCP(l1cfg)
+	cfg.L1DPrefetcher = PrefetcherSpec{New: func() (prefetch.Prefetcher, error) {
+		return core.NewL1IPCP(l1cfg), nil
 	}}
 	var l2p *core.L2IPCP
-	cfg.L2Prefetcher = PrefetcherSpec{New: func() prefetch.Prefetcher {
+	cfg.L2Prefetcher = PrefetcherSpec{New: func() (prefetch.Prefetcher, error) {
 		l2p = core.NewL2IPCP(core.DefaultL2Config())
-		return l2p
+		return l2p, nil
 	}}
 	sys, err := Build(cfg, streamsFor(t, []string{"bwaves-98"}, 1))
 	if err != nil {

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,6 +13,7 @@ import (
 	"ipcp/internal/cpu"
 	"ipcp/internal/dram"
 	"ipcp/internal/memsys"
+	"ipcp/internal/prefetch"
 	"ipcp/internal/telemetry"
 	"ipcp/internal/trace"
 	"ipcp/internal/vmem"
@@ -29,6 +31,10 @@ type System struct {
 	mem   *dram.Controller
 
 	cycle int64
+
+	// guards are the fail-safe wrappers Build placed around the
+	// attached prefetchers (empty when cfg.DisableGuard).
+	guards []guardRef
 
 	// Telemetry (all nil/false when disabled — the step() fast path
 	// pays one branch).
@@ -59,6 +65,26 @@ type Result struct {
 	// prefetcher does not implement telemetry.Introspector.
 	IPCPL1 []*telemetry.Snapshot
 	IPCPL2 []*telemetry.Snapshot
+
+	// PrefetcherFaults lists guarded prefetchers that were disabled
+	// mid-run (panic or budget violation). Empty on a healthy run.
+	PrefetcherFaults []PrefetcherFault `json:",omitempty"`
+}
+
+// PrefetcherFault records one guarded prefetcher's fail-safe trip: the
+// prefetcher was disabled for the rest of the run and the simulation
+// continued unprefetched at that level.
+type PrefetcherFault struct {
+	Core   int    `json:"core"` // -1 for the shared LLC
+	Level  string `json:"level"`
+	Name   string `json:"name"`
+	Reason string `json:"reason"`
+}
+
+// guardRef ties a guard to the core it serves (-1 for the LLC).
+type guardRef struct {
+	g    *prefetch.Guard
+	core int
 }
 
 // MPKI returns core i's demand misses per kilo instruction at the given
@@ -128,7 +154,7 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	llc.SetPrefetcher(llcPf)
+	llc.SetPrefetcher(s.guardPf(llcPf, memsys.LevelLLC, -1))
 	s.llc = llc
 
 	alloc := vmem.NewPhysAllocator(cfg.Seed)
@@ -145,7 +171,7 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		l2.SetPrefetcher(l2Pf)
+		l2.SetPrefetcher(s.guardPf(l2Pf, memsys.LevelL2, i))
 
 		l1dCfg := cfg.L1D
 		l1dCfg.Name = fmt.Sprintf("L1D.%d", i)
@@ -158,7 +184,7 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		l1d.SetPrefetcher(l1dPf)
+		l1d.SetPrefetcher(s.guardPf(l1dPf, memsys.LevelL1D, i))
 
 		l1iCfg := cfg.L1I
 		l1iCfg.Name = fmt.Sprintf("L1I.%d", i)
@@ -171,7 +197,7 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		l1i.SetPrefetcher(l1iPf)
+		l1i.SetPrefetcher(s.guardPf(l1iPf, memsys.LevelL1I, i))
 
 		core, err := cpu.New(i, cfg.Core, streams[i], alloc)
 		if err != nil {
@@ -188,6 +214,37 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 		s.l2s = append(s.l2s, l2)
 	}
 	return s, nil
+}
+
+// guardPf wraps a prefetcher in the fail-safe Guard unless guarding is
+// disabled or the prefetcher is the no-op (whose Nil type the cache's
+// fast path keys on).
+func (s *System) guardPf(p prefetch.Prefetcher, level memsys.Level, core int) prefetch.Prefetcher {
+	if s.cfg.DisableGuard {
+		return p
+	}
+	if _, isNil := p.(prefetch.Nil); isNil {
+		return p
+	}
+	g := prefetch.NewGuard(p, level)
+	s.guards = append(s.guards, guardRef{g: g, core: core})
+	return g
+}
+
+// PrefetcherFaults reports the guards that have tripped so far.
+func (s *System) PrefetcherFaults() []PrefetcherFault {
+	var out []PrefetcherFault
+	for _, ref := range s.guards {
+		if disabled, reason := ref.g.Disabled(); disabled {
+			out = append(out, PrefetcherFault{
+				Core:   ref.core,
+				Level:  ref.g.Level().String(),
+				Name:   ref.g.Name(),
+				Reason: reason,
+			})
+		}
+	}
+	return out
 }
 
 // L1D exposes core i's L1-D cache (tests and experiments).
@@ -254,7 +311,7 @@ func (s *System) snapshotCum() intervalCum {
 		c.retired += s.cores[i].Stats.Retired
 		c.l1dMiss += s.l1ds[i].Stats.DemandMisses()
 		c.l2Miss += s.l2s[i].Stats.DemandMisses()
-		if in, ok := s.l1ds[i].Prefetcher().(telemetry.Introspector); ok {
+		if in, ok := introspector(s.l1ds[i].Prefetcher()); ok {
 			snap := in.TelemetrySnapshot()
 			for cls := 0; cls < memsys.NumClasses; cls++ {
 				c.classIssued[cls] += snap.Classes[cls].Issued
@@ -306,7 +363,7 @@ func (s *System) flushInterval() {
 	}
 	// Degree/accuracy are end-of-interval state, reported for core 0
 	// (the only core of the single-core runs this timeline targets).
-	if in, ok := s.l1ds[0].Prefetcher().(telemetry.Introspector); ok {
+	if in, ok := introspector(s.l1ds[0].Prefetcher()); ok {
 		snap := in.TelemetrySnapshot()
 		for cls := 0; cls < memsys.NumClasses; cls++ {
 			sm.Classes[cls].Degree = snap.Classes[cls].Degree
@@ -380,6 +437,20 @@ func (s *System) resetStats() {
 // resources) until the last core finishes, as in the paper's
 // methodology.
 func (s *System) Run(warmup, measure uint64) (*Result, error) {
+	return s.RunContext(context.Background(), warmup, measure)
+}
+
+// cancelCheckMask sets how often the simulation loop polls the context:
+// every 4096 cycles — about a microsecond of simulated time, and cheap
+// enough (one predictable branch plus an atomic load) to be invisible
+// in the cycle loop's profile.
+const cancelCheckMask = 1<<12 - 1
+
+// RunContext is Run with cooperative cancellation: the cycle loop
+// checks ctx every few thousand cycles and returns ctx's error when it
+// is cancelled, after closing any open interval-metrics sample so
+// flushed telemetry stays consistent.
+func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Result, error) {
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles == 0 {
 		// A generous bound: no workload should average > 500
@@ -393,6 +464,11 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 		if s.cycle >= deadline {
 			return nil, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
 		}
+		if s.cycle&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: warmup cancelled at cycle %d: %w", s.cycle, err)
+			}
+		}
 		s.step()
 	}
 	s.resetStats()
@@ -404,6 +480,15 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 		if s.cycle >= deadline {
 			return nil, fmt.Errorf("sim: measurement exceeded %d cycles (%d/%d cores finished)",
 				maxCycles, done, s.cfg.Cores)
+		}
+		if s.cycle&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				if s.sampling {
+					s.flushInterval()
+					s.sampling = false
+				}
+				return nil, fmt.Errorf("sim: measurement cancelled at cycle %d: %w", s.cycle, err)
+			}
 		}
 		s.step()
 		for i, c := range s.cores {
@@ -422,12 +507,13 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 	}
 
 	res := &Result{
-		Cores:         s.cfg.Cores,
-		Instructions:  measure,
-		CyclesPerCore: make([]int64, s.cfg.Cores),
-		IPC:           make([]float64, s.cfg.Cores),
-		LLC:           s.llc.Stats,
-		DRAM:          s.mem.Stats,
+		Cores:            s.cfg.Cores,
+		Instructions:     measure,
+		CyclesPerCore:    make([]int64, s.cfg.Cores),
+		IPC:              make([]float64, s.cfg.Cores),
+		LLC:              s.llc.Stats,
+		DRAM:             s.mem.Stats,
+		PrefetcherFaults: s.PrefetcherFaults(),
 	}
 	for i := range s.cores {
 		cyc := finish[i] - start
@@ -446,11 +532,19 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 // snapshotOf returns the cache's prefetcher introspection snapshot, or
 // nil when the prefetcher exposes none.
 func snapshotOf(c *cache.Cache) *telemetry.Snapshot {
-	if in, ok := c.Prefetcher().(telemetry.Introspector); ok {
+	if in, ok := introspector(c.Prefetcher()); ok {
 		s := in.TelemetrySnapshot()
 		return &s
 	}
 	return nil
+}
+
+// introspector unwraps any Guard layer before probing for the
+// introspection interface: the guard must not make a snapshot-less
+// prefetcher look like it has one.
+func introspector(p prefetch.Prefetcher) (telemetry.Introspector, bool) {
+	in, ok := prefetch.Unwrapped(p).(telemetry.Introspector)
+	return in, ok
 }
 
 func (s *System) allRetired(n uint64) bool {

@@ -43,13 +43,17 @@ const (
 	// transition); events with earlier cycles are training-phase
 	// events. Tools clip at this marker to isolate the measured phase.
 	EvPhase
+	// EvGuardTrip is a guarded prefetcher being disabled for the rest
+	// of the run after a panic or budget violation (fail-safe
+	// degradation; the sim continues unprefetched at that level).
+	EvGuardTrip
 
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
 	"issued", "fill", "useful", "rr-filtered", "page-clamped",
-	"class-transition", "nl-gate", "throttle", "phase",
+	"class-transition", "nl-gate", "throttle", "phase", "guard-trip",
 }
 
 func (k EventKind) String() string {

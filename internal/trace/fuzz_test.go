@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the reader. Two invariants:
+//
+//  1. The reader never panics and never allocates proportionally to a
+//     corrupt header's claims — any damage surfaces as an error.
+//  2. Whatever parses cleanly must survive a write→read round trip
+//     byte-identically (modulo the zero-target normalization the format
+//     performs on non-branch records).
+func FuzzReader(f *testing.F) {
+	// Seed corpus: an empty trace, a small valid trace, a truncated
+	// trace, a reserved-flags record, and a lying header.
+	empty := func() []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		w.Flush()
+		return buf.Bytes()
+	}()
+	valid := func() []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, in := range []Instr{
+			{IP: 0x400000, Loads: [MaxLoads]uint64{0x10000}},
+			{IP: 0x400004, IsBranch: true, Taken: true, Target: 0x400000},
+			{IP: 0x400008, Stores: [MaxStores]uint64{0x20000}, DepPrev: true},
+		} {
+			in := in
+			w.Write(&in)
+		}
+		w.Flush()
+		return buf.Bytes()
+	}()
+	f.Add([]byte{})
+	f.Add(empty)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	corruptFlags := bytes.Clone(valid)
+	corruptFlags[16] |= flagsReserved
+	f.Add(corruptFlags)
+	lyingHeader := bytes.Clone(empty)
+	lyingHeader[8] = 0xff
+	lyingHeader[15] = 0xff
+	f.Add(lyingHeader)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var parsed []Instr
+		for {
+			var in Instr
+			if err := r.Read(&in); err != nil {
+				if errors.Is(err, io.EOF) && !errors.Is(err, ErrCorrupt) {
+					break
+				}
+				return // damaged input, correctly rejected
+			}
+			parsed = append(parsed, in)
+			if len(parsed) > 1<<16 {
+				return // enough; bound fuzz iteration time
+			}
+		}
+
+		// Round trip: re-serialize and re-read; must match exactly.
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range parsed {
+			// Normalize what the format cannot represent: Write derives
+			// the flags from the fields, and a zero target is dropped.
+			if err := w.Write(&parsed[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := NewReader(&buf)
+		if err != nil {
+			t.Fatalf("re-reading own output: %v", err)
+		}
+		for i := range parsed {
+			var got Instr
+			if err := r2.Read(&got); err != nil {
+				t.Fatalf("re-read record %d: %v", i, err)
+			}
+			if got != parsed[i] {
+				t.Fatalf("round trip record %d: got %+v want %+v", i, got, parsed[i])
+			}
+		}
+		var extra Instr
+		if err := r2.Read(&extra); !errors.Is(err, io.EOF) {
+			t.Fatalf("expected EOF after %d records, got %v", len(parsed), err)
+		}
+	})
+}

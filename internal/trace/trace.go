@@ -72,9 +72,25 @@ type Stream interface {
 
 var magic = [8]byte{'I', 'P', 'C', 'P', 'T', 'R', 'C', '1'}
 
+// ErrCorrupt marks input the reader recognized as damaged: an invalid
+// header field, a record with reserved flag bits set, or a stream that
+// ends mid-record or short of its declared count. Errors carrying it
+// always wrap the byte offset of the damage, so errors.Is(err,
+// ErrCorrupt) detects corruption and the message pinpoints it.
+var ErrCorrupt = errors.New("corrupt trace")
+
 // ErrBadMagic is returned when a trace file does not start with the
-// expected header.
-var ErrBadMagic = errors.New("trace: bad magic")
+// expected header. It wraps ErrCorrupt.
+var ErrBadMagic = fmt.Errorf("%w: bad magic", ErrCorrupt)
+
+// flagsReserved masks the record flag bits the format does not define;
+// a record with any of them set cannot have come from Writer.
+const flagsReserved = byte(0x80)
+
+// maxPreallocRecords bounds the slab ReadAll sizes from the header's
+// declared count, so a corrupt header claiming 2^60 records cannot ask
+// for gigabytes before a single record is validated.
+const maxPreallocRecords = 1 << 20
 
 // Writer serializes instructions to an io.Writer.
 type Writer struct {
@@ -148,43 +164,76 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 // Count returns the number of records written so far.
 func (w *Writer) Count() uint64 { return w.count }
 
-// Reader deserializes instructions from an io.Reader.
+// Reader deserializes instructions from an io.Reader. It is defensive
+// against corrupt input: header fields are validated, reserved flag
+// bits rejected, truncation detected against the header's declared
+// record count, and every failure wraps ErrCorrupt (or the underlying
+// I/O error) with the byte offset where reading stopped.
 type Reader struct {
-	r   *bufio.Reader
-	err error
+	r    *bufio.Reader
+	err  error
+	off  int64  // bytes consumed so far
+	read uint64 // records decoded so far
+	// declared is the header's record count (0 = streamed/unknown).
+	declared uint64
 }
 
 // NewReader validates the header and returns a Reader.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	if n, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header at byte %d: %w: %w", n, ErrCorrupt, err)
 	}
 	if [8]byte(hdr[:8]) != magic {
 		return nil, ErrBadMagic
 	}
-	return &Reader{r: br}, nil
+	return &Reader{r: br, off: int64(len(hdr)), declared: binary.LittleEndian.Uint64(hdr[8:])}, nil
+}
+
+// Declared returns the header's record count (0 when the trace was
+// written streamed).
+func (r *Reader) Declared() uint64 { return r.declared }
+
+// Offset returns the number of bytes consumed so far.
+func (r *Reader) Offset() int64 { return r.off }
+
+// corrupt records and returns a sticky corruption error at the current
+// offset.
+func (r *Reader) corrupt(format string, args ...any) error {
+	r.err = fmt.Errorf("trace: %s at byte %d: %w", fmt.Sprintf(format, args...), r.off, ErrCorrupt)
+	return r.err
 }
 
 // Read fills in with the next record. It returns io.EOF at end of
-// trace.
+// trace; any other error is sticky and wraps the byte offset.
 func (r *Reader) Read(in *Instr) error {
 	if r.err != nil {
 		return r.err
 	}
 	flags, err := r.r.ReadByte()
 	if err != nil {
+		if errors.Is(err, io.EOF) && r.declared != 0 && r.read < r.declared {
+			return r.corrupt("truncated: %d of %d declared records", r.read, r.declared)
+		}
 		r.err = err
 		return err
 	}
+	recStart := r.off
+	if flags&flagsReserved != 0 {
+		// Report the offset of the bad flags byte itself.
+		return r.corrupt("record %d has reserved flag bits (0x%02x)", r.read, flags)
+	}
+	r.off++
 	in.Reset()
 	in.IsBranch = flags&1 != 0
 	in.Taken = flags&2 != 0
 	in.DepPrev = flags&64 != 0
 	read64 := func() uint64 {
 		var b [8]byte
-		if _, e := io.ReadFull(r.r, b[:]); e != nil {
+		n, e := io.ReadFull(r.r, b[:])
+		r.off += int64(n)
+		if e != nil {
 			if err == nil {
 				err = e
 			}
@@ -206,12 +255,9 @@ func (r *Reader) Read(in *Instr) error {
 		in.Stores[0] = read64()
 	}
 	if err != nil {
-		if errors.Is(err, io.EOF) {
-			err = io.ErrUnexpectedEOF
-		}
-		r.err = err
-		return err
+		return r.corrupt("record %d (starting at byte %d) cut short", r.read, recStart)
 	}
+	r.read++
 	return nil
 }
 
@@ -271,7 +317,13 @@ func ReadAll(r io.Reader) (*SliceStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Instr
+	// Preallocate from the header's declared count, bounded so a corrupt
+	// header cannot demand an absurd slab up front.
+	prealloc := tr.Declared()
+	if prealloc > maxPreallocRecords {
+		prealloc = maxPreallocRecords
+	}
+	out := make([]Instr, 0, prealloc)
 	for {
 		var in Instr
 		if err := tr.Read(&in); err != nil {

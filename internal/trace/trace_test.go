@@ -2,9 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -212,6 +214,119 @@ func TestReadAllRoundTrip(t *testing.T) {
 	var in Instr
 	if !s.Next(&in) || in.IP != 1 {
 		t.Error("ReadAll stream does not loop")
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(magic[:5]))
+	if r != nil || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated header: got reader=%v err=%v, want ErrCorrupt", r, err)
+	}
+}
+
+func TestReservedFlagBits(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	in := Instr{IP: 1}
+	w.Write(&in)
+	w.Flush()
+	b := buf.Bytes()
+	b[16] |= flagsReserved // corrupt the first record's flags byte
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Instr
+	err = r.Read(&got)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reserved flags: got %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "byte 16") {
+		t.Errorf("error lacks byte-offset context: %v", err)
+	}
+	// The error must be sticky.
+	if err2 := r.Read(&got); !errors.Is(err2, ErrCorrupt) {
+		t.Errorf("second Read after corruption: got %v, want sticky ErrCorrupt", err2)
+	}
+}
+
+func TestTruncatedMidRecordIsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	in := Instr{IP: 1, Loads: [MaxLoads]uint64{42}}
+	w.Write(&in)
+	w.Flush()
+	b := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(b[:len(b)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Instr
+	if err := r.Read(&got); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mid-record truncation: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDeclaredCountTruncation(t *testing.T) {
+	// A header declaring 3 records over a body holding 1 must read as
+	// truncation (ErrCorrupt), not a clean EOF.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	in := Instr{IP: 1}
+	w.Write(&in)
+	w.Flush()
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint64(b[8:], 3)
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Declared() != 3 {
+		t.Fatalf("Declared = %d, want 3", r.Declared())
+	}
+	var got Instr
+	if err := r.Read(&got); err != nil {
+		t.Fatal(err)
+	}
+	err = r.Read(&got)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short of declared count: got %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "1 of 3") {
+		t.Errorf("truncation error lacks counts: %v", err)
+	}
+}
+
+func TestReadAllBoundsPrealloc(t *testing.T) {
+	// A header claiming 2^60 records over an empty body must fail with
+	// ErrCorrupt without attempting a gigantic allocation.
+	var hdr [16]byte
+	copy(hdr[:], magic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], 1<<60)
+	if _, err := ReadAll(bytes.NewReader(hdr[:])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("absurd declared count: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderOffset(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	in := Instr{IP: 1} // flags byte + IP = 9 bytes
+	w.Write(&in)
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offset() != 16 {
+		t.Errorf("Offset after header = %d, want 16", r.Offset())
+	}
+	var got Instr
+	if err := r.Read(&got); err != nil {
+		t.Fatal(err)
+	}
+	if r.Offset() != 25 {
+		t.Errorf("Offset after one record = %d, want 25", r.Offset())
 	}
 }
 

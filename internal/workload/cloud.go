@@ -22,7 +22,7 @@ func cloudStream(codeBlocks, memEvery, dwell int, dataSrc func() source) func(in
 func cloud(name string, newStream func(int64) trace.Stream) {
 	register(Spec{
 		Name: name, Benchmark: "cloudsuite/" + name, Class: ClassCloud,
-		MemIntensive: true, Suite: "cloud", newStream: newStream,
+		MemIntensive: true, Suite: "cloud", NewStream: newStream,
 	})
 }
 

@@ -19,7 +19,7 @@ func nnStream(memEvery, dwell int, storeFrac float64, srcf func() source) func(i
 func nn(name string, newStream func(int64) trace.Stream) {
 	register(Spec{
 		Name: name, Benchmark: "nn/" + name, Class: ClassNN,
-		MemIntensive: true, Suite: "nn", newStream: newStream,
+		MemIntensive: true, Suite: "nn", NewStream: newStream,
 	})
 }
 

@@ -38,7 +38,7 @@ func build(p genParams, srcf func() source) func(int64) trace.Stream {
 func spec(name, benchmark string, class Class, memIntensive bool, newStream func(int64) trace.Stream) {
 	register(Spec{
 		Name: name, Benchmark: benchmark, Class: class,
-		MemIntensive: memIntensive, Suite: "spec", newStream: newStream,
+		MemIntensive: memIntensive, Suite: "spec", NewStream: newStream,
 	})
 }
 

@@ -45,23 +45,35 @@ type Spec struct {
 	// Suite is "spec", "cloud" or "nn".
 	Suite string
 
-	newStream func(seed int64) trace.Stream
+	// NewStream constructs the workload's instruction stream.
+	// Implementations must be deterministic per seed.
+	NewStream func(seed int64) trace.Stream
 }
 
 // New instantiates the workload's instruction stream with the given
 // seed. Streams are infinite and deterministic per (spec, seed).
-func (s Spec) New(seed int64) trace.Stream { return s.newStream(seed) }
+func (s Spec) New(seed int64) trace.Stream { return s.NewStream(seed) }
 
 var specs []Spec
 var byName = map[string]int{}
 
-func register(s Spec) {
+// Register adds a workload to the registry. It panics on a duplicate
+// name or a nil NewStream — both are programming errors caught at init
+// time, not runtime conditions. Tests that register synthetic
+// workloads (e.g. fault-injecting streams) must pick unique names.
+func Register(s Spec) {
+	if s.NewStream == nil {
+		panic(fmt.Sprintf("workload: %q has no NewStream", s.Name))
+	}
 	if _, dup := byName[s.Name]; dup {
 		panic(fmt.Sprintf("workload: duplicate %q", s.Name))
 	}
 	byName[s.Name] = len(specs)
 	specs = append(specs, s)
 }
+
+// register keeps this package's many init-time call sites short.
+func register(s Spec) { Register(s) }
 
 // Named returns the workload with the given name.
 func Named(name string) (Spec, error) {

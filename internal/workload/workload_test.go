@@ -279,3 +279,29 @@ func TestAllWorkloadsProduceMemoryTraffic(t *testing.T) {
 		}
 	}
 }
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	const name = "workload-test-dup"
+	mk := func(int64) trace.Stream { return &trace.SliceStream{Instrs: []trace.Instr{{IP: 1}}, Loop: true} }
+	Register(Spec{Name: name, Suite: "spec", NewStream: mk})
+	defer func() {
+		// Keep the registry clean for Names()-driven tests.
+		delete(byName, name)
+		specs = specs[:len(specs)-1]
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(Spec{Name: name, Suite: "spec", NewStream: mk})
+}
+
+func TestRegisterNilStreamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Register with nil NewStream did not panic")
+		}
+	}()
+	Register(Spec{Name: "workload-test-nil"})
+}

@@ -19,6 +19,7 @@
 package ipcp
 
 import (
+	"context"
 	"fmt"
 
 	"ipcp/internal/core"
@@ -126,6 +127,15 @@ type RunConfig struct {
 
 // Run builds and runs one simulation.
 func Run(rc RunConfig) (*Result, error) {
+	return RunContext(context.Background(), rc)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation's
+// cycle loop polls ctx every few thousand cycles, so a cancelled or
+// timed-out context stops the run promptly with ctx's error. Telemetry
+// collected up to that point (Tracer events, Intervals samples) remains
+// readable — an interrupted run still flushes what it observed.
+func RunContext(ctx context.Context, rc RunConfig) (*Result, error) {
 	mix := rc.Mix
 	if len(mix) == 0 {
 		if rc.Workload == "" {
@@ -141,7 +151,7 @@ func Run(rc RunConfig) (*Result, error) {
 	}
 	if rc.CustomL1D != nil {
 		p := rc.CustomL1D
-		cfg.L1DPrefetcher = sim.PrefetcherSpec{New: func() Prefetcher { return p }}
+		cfg.L1DPrefetcher = sim.PrefetcherSpec{New: func() (Prefetcher, error) { return p, nil }}
 	} else if rc.L1DPrefetcher != "" {
 		cfg.L1DPrefetcher = sim.PrefetcherSpec{Name: rc.L1DPrefetcher}
 	}
@@ -182,8 +192,13 @@ func Run(rc RunConfig) (*Result, error) {
 	if meas == 0 {
 		meas = 200_000
 	}
-	return sys.Run(warm, meas)
+	return sys.RunContext(ctx, warm, meas)
 }
+
+// PrefetcherFault is a fail-safe trip recorded in Result: a guarded
+// prefetcher panicked or violated its budget, was disabled for the rest
+// of the run, and the simulation continued unprefetched at that level.
+type PrefetcherFault = sim.PrefetcherFault
 
 // Speedup runs a workload with and without the given prefetcher
 // configuration and returns IPC_with/IPC_without.
