@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test bench fuzz
+# Benchmarks tracked in BENCH_throughput.json: the simulator hot-loop
+# throughput benches plus two representative figure benches.
+TRACKED_BENCH = SimulatorThroughput|Fig7$$|Fig8$$
+BENCH_FILE   = BENCH_throughput.json
+
+.PHONY: check build vet test determinism bench benchsmoke benchdiff fuzz
 
 # Tier-1 gate: everything must pass before a change lands.
-check: build vet test fuzz
+check: build vet test determinism fuzz
 
 build:
 	$(GO) build ./...
@@ -14,8 +19,25 @@ vet:
 test:
 	$(GO) test -race ./...
 
-# Smoke-run every benchmark once (no timing significance).
+# Golden equivalence: fast-forwarded scheduler vs cycle-by-cycle
+# reference, plus run-to-run repeatability (already part of `test`;
+# kept as its own gate so a perf change can run just this, fast).
+determinism:
+	$(GO) test ./internal/sim -run 'Determinism|FastForward' -count=1
+
+# Timed run of the tracked benchmarks, appended to $(BENCH_FILE).
 bench:
+	$(GO) test -run '^$$' -bench '$(TRACKED_BENCH)' -benchmem -benchtime=2s -count=3 . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchrecord -record $(BENCH_FILE)
+
+# Same run, compared against the last recorded entries instead of
+# recorded; fails on >10% instr/s regression.
+benchdiff:
+	$(GO) test -run '^$$' -bench '$(TRACKED_BENCH)' -benchmem -benchtime=2s -count=3 . \
+		| $(GO) run ./cmd/benchrecord -diff $(BENCH_FILE)
+
+# Smoke-run every benchmark once (no timing significance).
+benchsmoke:
 	$(GO) test -bench . -benchtime=1x
 
 # Brief fuzz pass over the trace reader (longer runs: raise -fuzztime).

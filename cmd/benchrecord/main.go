@@ -1,0 +1,247 @@
+// Command benchrecord turns `go test -bench` output into a tracked
+// benchmark history, so simulator-throughput regressions show up in
+// review instead of in a bisect six months later.
+//
+//	go test -run '^$' -bench SimulatorThroughput -benchmem . | benchrecord -record BENCH_throughput.json
+//	go test -run '^$' -bench SimulatorThroughput -benchmem . | benchrecord -diff BENCH_throughput.json
+//
+// -record appends one entry per benchmark to the JSON history (multiple
+// -count runs of the same benchmark are averaged first). -diff compares
+// the fresh run against the most recent recorded entry for each
+// benchmark, benchstat-style, and exits non-zero when instr/s regresses
+// by more than the -tolerance fraction.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one recorded benchmark measurement. InstrPerSec is zero for
+// benchmarks that do not report the custom instr/s metric.
+type Entry struct {
+	Bench       string  `json:"bench"`
+	When        string  `json:"when"`
+	Commit      string  `json:"commit,omitempty"`
+	Note        string  `json:"note,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	InstrPerSec float64 `json:"instr_per_sec,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var (
+		record    = flag.String("record", "", "append parsed results to this JSON history file")
+		diff      = flag.String("diff", "", "compare parsed results against the latest entries in this JSON history file")
+		note      = flag.String("note", "", "free-form note stored with -record entries")
+		tolerance = flag.Float64("tolerance", 0.10, "-diff: fail when instr/s drops by more than this fraction")
+	)
+	flag.Parse()
+	if (*record == "") == (*diff == "") {
+		fmt.Fprintln(os.Stderr, "benchrecord: exactly one of -record or -diff is required")
+		os.Exit(2)
+	}
+
+	fresh, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchrecord: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *record != "" {
+		if err := doRecord(*record, fresh, *note); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrecord:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if !doDiff(*diff, fresh, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// parseBench reads `go test -bench` output and averages repeated runs of
+// the same benchmark (a -count run emits one line per repetition).
+func parseBench(r *os.File) ([]Entry, error) {
+	sums := map[string]*Entry{}
+	counts := map[string]int{}
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  T ns/op  [V instr/s]  [B B/op]  [A allocs/op]
+		if len(fields) < 4 {
+			continue
+		}
+		name := benchName(fields[0])
+		e, ok := sums[name]
+		if !ok {
+			e = &Entry{Bench: name}
+			sums[name] = e
+			order = append(order, name)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp += v
+			case "instr/s":
+				e.InstrPerSec += v
+			case "B/op":
+				e.BytesPerOp += v
+			case "allocs/op":
+				e.AllocsPerOp += v
+			}
+		}
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]Entry, 0, len(order))
+	for _, name := range order {
+		e := sums[name]
+		n := float64(counts[name])
+		e.NsPerOp /= n
+		e.InstrPerSec /= n
+		e.BytesPerOp /= n
+		e.AllocsPerOp /= n
+		out = append(out, *e)
+	}
+	return out, nil
+}
+
+// benchName strips the -GOMAXPROCS suffix go test appends to benchmark
+// names (Benchmark...-8), so histories compare across machines.
+func benchName(s string) string {
+	if i := strings.LastIndexByte(s, '-'); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func loadHistory(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var hist []Entry
+	if err := json.Unmarshal(data, &hist); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return hist, nil
+}
+
+func doRecord(path string, fresh []Entry, note string) error {
+	hist, err := loadHistory(path)
+	if err != nil {
+		return err
+	}
+	when := time.Now().UTC().Format(time.RFC3339)
+	commit := gitRev()
+	for _, e := range fresh {
+		e.When, e.Commit, e.Note = when, commit, note
+		hist = append(hist, e)
+		fmt.Printf("recorded %-40s %12.0f ns/op", e.Bench, e.NsPerOp)
+		if e.InstrPerSec > 0 {
+			fmt.Printf("  %10.0f instr/s", e.InstrPerSec)
+		}
+		fmt.Println()
+	}
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// doDiff prints a benchstat-style comparison and reports whether every
+// benchmark with a recorded baseline stayed within tolerance.
+func doDiff(path string, fresh []Entry, tolerance float64) bool {
+	hist, err := loadHistory(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		return false
+	}
+	// Latest recorded entry per benchmark wins.
+	base := map[string]Entry{}
+	for _, e := range hist {
+		base[e.Bench] = e
+	}
+
+	names := make([]string, 0, len(fresh))
+	byName := map[string]Entry{}
+	for _, e := range fresh {
+		names = append(names, e.Bench)
+		byName[e.Bench] = e
+	}
+	sort.Strings(names)
+
+	ok := true
+	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	for _, name := range names {
+		e := byName[name]
+		b, have := base[name]
+		if !have {
+			fmt.Printf("%-40s %14s %14.0f %8s  (no baseline)\n", name, "-", e.NsPerOp, "-")
+			continue
+		}
+		fmt.Printf("%-40s %12.0fns %12.0fns %+7.1f%%\n",
+			name, b.NsPerOp, e.NsPerOp, pct(e.NsPerOp, b.NsPerOp))
+		if e.InstrPerSec > 0 && b.InstrPerSec > 0 {
+			delta := pct(e.InstrPerSec, b.InstrPerSec)
+			fmt.Printf("%-40s %11.0fi/s %11.0fi/s %+7.1f%%\n", "  instr/s", b.InstrPerSec, e.InstrPerSec, delta)
+			if e.InstrPerSec < b.InstrPerSec*(1-tolerance) {
+				fmt.Printf("  REGRESSION: instr/s down %.1f%% (tolerance %.0f%%) vs %s\n",
+					-delta, tolerance*100, b.When)
+				ok = false
+			}
+		}
+		if b.AllocsPerOp > 0 || e.AllocsPerOp > 0 {
+			fmt.Printf("%-40s %13.0fa %13.0fa\n", "  allocs/op", b.AllocsPerOp, e.AllocsPerOp)
+		}
+	}
+	return ok
+}
+
+func pct(new, old float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new/old - 1) * 100
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -6,11 +6,14 @@
 // The model is cycle-stepped: the simulation driver clocks every cache
 // once per cycle, and each cache services a bounded number of lookups
 // per cycle (its "ports"), forwards misses downward through memsys.Sink
-// and receives data back through memsys.Receiver.
+// and receives data back through memsys.Receiver. NextEvent lets the
+// driver skip cycles where the cache provably has nothing to do (see
+// the quiescence contract in DESIGN.md).
 package cache
 
 import (
 	"fmt"
+	"math"
 
 	"ipcp/internal/memsys"
 	"ipcp/internal/prefetch"
@@ -101,12 +104,6 @@ func (s *Stats) Accuracy() float64 {
 	return float64(s.PrefetchUseful) / float64(s.PrefetchFills)
 }
 
-// fillRec is a returned block waiting to be installed.
-type fillRec struct {
-	ready int64
-	req   *memsys.Request
-}
-
 // Translator maps a virtual prefetch address to a physical one without
 // allocating pages; ok=false drops the candidate.
 type Translator func(v memsys.Addr) (memsys.Addr, bool)
@@ -119,6 +116,11 @@ type Cache struct {
 
 	lower memsys.Sink
 	pf    prefetch.Prefetcher
+	// pfNil caches whether pf is the no-op prefetcher (fast-path key).
+	pfNil bool
+	// pfNext caches pf's NextEventer, nil when pf gives no bound (the
+	// cache then never reports quiescence past the next cycle).
+	pfNext prefetch.NextEventer
 
 	// translate is set on the L1-D: prefetcher candidates there are
 	// virtual addresses.
@@ -126,7 +128,27 @@ type Cache struct {
 
 	rq, wq, pq *queue
 	mshr       *mshrTable
-	fills      []fillRec
+	fills      fillRing
+
+	// pool recycles Requests across the whole system (nil: allocate).
+	pool *memsys.RequestPool
+
+	// installCb adapts installFill to the fill ring without a per-call
+	// closure allocation (c.now carries the cycle).
+	installCb func(*memsys.Request) bool
+
+	// iss is the prefetcher-facing issuer, boxed once instead of per
+	// Operate call.
+	iss prefetch.Issuer
+	// opAcc and fillEv are the reusable hook-argument buffers; the
+	// prefetcher contract forbids retaining the pointers.
+	opAcc  prefetch.Access
+	fillEv prefetch.FillEvent
+
+	// rqBlocked records that the read-queue head was tried this cycle
+	// and could not make progress (MSHR full, no merge): it cannot
+	// unblock before a fill completes, so the cache may sleep.
+	rqBlocked bool
 
 	setsMask uint64
 	now      int64
@@ -158,17 +180,21 @@ func New(cfg Config) (*Cache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cache %s: %w", cfg.Name, err)
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		lines:    make([]Line, cfg.Sets*cfg.Ways),
 		pol:      pol,
-		pf:       prefetch.Nil{},
 		rq:       newQueue(cfg.RQSize),
 		wq:       newQueue(cfg.WQSize),
 		pq:       newQueue(cfg.PQSize),
 		mshr:     newMSHR(cfg.MSHRs),
+		fills:    newFillRing(),
 		setsMask: uint64(cfg.Sets - 1),
-	}, nil
+	}
+	c.SetPrefetcher(nil)
+	c.iss = issuer{c}
+	c.installCb = func(req *memsys.Request) bool { return c.installFill(c.now, req) }
+	return c, nil
 }
 
 // Config returns the cache's configuration.
@@ -177,12 +203,18 @@ func (c *Cache) Config() Config { return c.cfg }
 // SetLower attaches the next level down.
 func (c *Cache) SetLower(s memsys.Sink) { c.lower = s }
 
+// SetRequestPool attaches the system-wide request free list (nil keeps
+// plain allocation, the default for standalone caches).
+func (c *Cache) SetRequestPool(p *memsys.RequestPool) { c.pool = p }
+
 // SetPrefetcher attaches a prefetcher (nil detaches).
 func (c *Cache) SetPrefetcher(p prefetch.Prefetcher) {
 	if p == nil {
 		p = prefetch.Nil{}
 	}
 	c.pf = p
+	_, c.pfNil = p.(prefetch.Nil)
+	c.pfNext, _ = p.(prefetch.NextEventer)
 }
 
 // Prefetcher returns the attached prefetcher.
@@ -218,7 +250,7 @@ func (c *Cache) AddPrefetch(r *memsys.Request) bool { return c.pq.push(r) }
 
 // ReturnData receives a completed forwarded request from below.
 func (c *Cache) ReturnData(ready int64, req *memsys.Request) {
-	c.fills = append(c.fills, fillRec{ready: ready, req: req})
+	c.fills.push(ready, req)
 }
 
 // --- clocking -----------------------------------------------------------
@@ -226,7 +258,21 @@ func (c *Cache) ReturnData(ready int64, req *memsys.Request) {
 // Cycle advances the cache one cycle.
 func (c *Cache) Cycle(now int64) {
 	c.now = now
-	c.processFills(now)
+
+	// Idle fast path: with empty queues, no due fill, and nothing to
+	// forward, the full pass below is a no-op — only the prefetcher's
+	// clock remains. This is the common state for the L1-I and for
+	// lower levels between bursts.
+	if c.fills.minReady > now && c.mshr.pendingIssue == 0 &&
+		c.wq.size == 0 && c.rq.size == 0 && c.pq.size == 0 {
+		c.rqBlocked = false
+		if !c.pfNil {
+			c.pf.Cycle(now)
+		}
+		return
+	}
+
+	c.fills.process(now, c.installCb)
 	c.issueMSHR(now)
 
 	// One writeback handled per cycle.
@@ -241,10 +287,12 @@ func (c *Cache) Cycle(now int64) {
 	// paper's L1 prefetcher never probes the data ports (that is what
 	// the RR filter is for), so prefetches do not starve behind a
 	// saturated demand stream.
+	c.rqBlocked = false
 	budget := c.cfg.Ports
 	for budget > 0 {
 		if r := c.rq.peek(); r != nil {
 			if !c.handleRead(now, r) {
+				c.rqBlocked = true
 				break // head blocked (MSHR full); retry next cycle
 			}
 			c.rq.pop()
@@ -269,7 +317,60 @@ func (c *Cache) Cycle(now int64) {
 		pfBudget--
 	}
 
-	c.pf.Cycle(now)
+	if !c.pfNil {
+		c.pf.Cycle(now)
+	}
+}
+
+// NextEvent reports the earliest future cycle at which clocking this
+// cache could have any effect — on its own state, its statistics, or
+// another component. Between now and the returned cycle every Cycle
+// call is provably a no-op, so the driver may skip straight there.
+// prefetch.NoEvent means the cache is idle until external input
+// arrives (which only happens inside some other component's event).
+func (c *Cache) NextEvent(now int64) int64 {
+	// Queued writebacks and prefetches are retried every cycle, and
+	// their handlers touch counters (e.g. PrefetchMSHRStall), so any
+	// occupancy pins the cache awake.
+	if c.wq.len() > 0 || c.pq.len() > 0 {
+		return now + 1
+	}
+	// A read-queue head that was not even tried this cycle (ports
+	// exhausted, or freshly pushed) must be tried next cycle; one that
+	// bounced off a full MSHR can only unblock when a fill frees an
+	// entry, which the fill bound below covers.
+	if c.rq.len() > 0 && !c.rqBlocked {
+		return now + 1
+	}
+	next := int64(math.MaxInt64)
+	if c.fills.len() > 0 {
+		if c.fills.minReady <= now {
+			return now + 1 // blocked install retries every cycle
+		}
+		next = c.fills.minReady
+	}
+	if t, ok := c.mshr.nextIssue(); ok {
+		if t <= now {
+			return now + 1 // forward retry (lower queue full)
+		}
+		if t < next {
+			next = t
+		}
+	}
+	// The prefetcher's epoch/delay machinery: without a declared
+	// bound we must assume its Cycle does work every cycle.
+	if !c.pfNil {
+		if c.pfNext == nil {
+			return now + 1
+		}
+		if t := c.pfNext.NextEvent(now); t < next {
+			next = t
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // lookup finds the way holding block, or -1.
@@ -304,7 +405,8 @@ func (c *Cache) handlePrefetchPop(now int64, r *memsys.Request) bool {
 	if r.FillLevel > c.cfg.Level {
 		_, way := c.lookup(memsys.BlockNumber(r.Addr))
 		if way >= 0 {
-			return true // already resident here; drop
+			c.pool.Put(r) // already resident here; drop
+			return true
 		}
 		return c.lower.AddPrefetch(r)
 	}
@@ -347,6 +449,8 @@ func (c *Cache) service(now int64, r *memsys.Request, fromPQ bool) bool {
 		}
 		if r.ReturnTo != nil {
 			r.ReturnTo.ReturnData(now+int64(c.cfg.Latency), r)
+		} else {
+			c.pool.Put(r) // terminal here: RFO or prefetch hit
 		}
 		return true
 	}
@@ -386,17 +490,15 @@ func (c *Cache) service(now int64, r *memsys.Request, fromPQ bool) bool {
 	if fl == 0 {
 		fl = c.cfg.Level
 	}
-	e := &mshrEntry{
-		block:        block,
-		waiters:      []*memsys.Request{r},
-		readyToIssue: now + int64(c.cfg.Latency),
-		prefetchOnly: r.IsPrefetch(),
-		class:        r.PfClass,
-		meta:         r.PfMeta,
-		fillLevel:    fl,
-		born:         now,
-	}
-	c.mshr.alloc(e)
+	e := c.mshr.alloc()
+	e.block = block
+	e.waiters = append(e.waiters, r)
+	e.readyToIssue = now + int64(c.cfg.Latency)
+	e.prefetchOnly = r.IsPrefetch()
+	e.class = r.PfClass
+	e.meta = r.PfMeta
+	e.fillLevel = fl
+	e.born = now
 	if external {
 		c.operatePrefetcher(now, r, false, false, memsys.ClassNone)
 	}
@@ -412,9 +514,10 @@ func (c *Cache) count(t memsys.AccessType, hit bool) {
 	}
 }
 
-// operatePrefetcher invokes the attached prefetcher's Operate hook.
+// operatePrefetcher invokes the attached prefetcher's Operate hook. The
+// Access buffer is reused across calls; prefetchers must not retain it.
 func (c *Cache) operatePrefetcher(now int64, r *memsys.Request, hit, hitPrefetched bool, hitClass memsys.PrefetchClass) {
-	if _, isNil := c.pf.(prefetch.Nil); isNil {
+	if c.pfNil {
 		return
 	}
 	vaddr := r.VAddr
@@ -425,7 +528,7 @@ func (c *Cache) operatePrefetcher(now int64, r *memsys.Request, hit, hitPrefetch
 		// them prefetch the wrong physical lines.
 		vaddr = 0
 	}
-	a := prefetch.Access{
+	c.opAcc = prefetch.Access{
 		Addr:          r.Addr,
 		VAddr:         vaddr,
 		IP:            r.IP,
@@ -435,7 +538,7 @@ func (c *Cache) operatePrefetcher(now int64, r *memsys.Request, hit, hitPrefetch
 		HitPrefetched: hitPrefetched,
 		HitClass:      hitClass,
 	}
-	c.pf.Operate(now, &a, issuer{c})
+	c.pf.Operate(now, &c.opAcc, c.iss)
 }
 
 // issuer adapts the cache to prefetch.Issuer.
@@ -466,7 +569,8 @@ func (c *Cache) issuePrefetch(cand prefetch.Candidate) bool {
 	if fl == 0 {
 		fl = c.cfg.Level
 	}
-	r := &memsys.Request{
+	r := c.pool.Get()
+	*r = memsys.Request{
 		Addr:      memsys.BlockAlign(paddr),
 		VAddr:     memsys.BlockAlign(vaddr),
 		IP:        cand.IP,
@@ -497,7 +601,8 @@ func (c *Cache) issueMSHR(now int64) {
 			return
 		}
 		first := e.waiters[0]
-		fwd := &memsys.Request{
+		fwd := c.pool.Get()
+		*fwd = memsys.Request{
 			Addr:      e.block << memsys.BlockBits,
 			VAddr:     memsys.BlockAlign(first.VAddr),
 			IP:        first.IP,
@@ -512,13 +617,17 @@ func (c *Cache) issueMSHR(now int64) {
 		if e.prefetchOnly {
 			fwd.Type = memsys.Prefetch
 			if c.lower.AddPrefetch(fwd) {
-				e.issued = true
+				c.mshr.markIssued(e)
+			} else {
+				c.pool.Put(fwd)
 			}
 			return
 		}
 		fwd.Type = firstDemandType(e.waiters)
 		if c.lower.AddRead(fwd) {
-			e.issued = true
+			c.mshr.markIssued(e)
+		} else {
+			c.pool.Put(fwd)
 		}
 	})
 }
@@ -530,21 +639,6 @@ func firstDemandType(ws []*memsys.Request) memsys.AccessType {
 		}
 	}
 	return memsys.Load
-}
-
-// processFills installs returned blocks and answers waiters.
-func (c *Cache) processFills(now int64) {
-	remaining := c.fills[:0]
-	for _, f := range c.fills {
-		if f.ready > now {
-			remaining = append(remaining, f)
-			continue
-		}
-		if !c.installFill(now, f.req) {
-			remaining = append(remaining, f) // victim writeback blocked
-		}
-	}
-	c.fills = remaining
 }
 
 // installFill installs the returned block for req and completes its
@@ -567,7 +661,8 @@ func (c *Cache) installFill(now int64, req *memsys.Request) bool {
 	}
 
 	if e == nil {
-		return true // stale fill (entry already satisfied)
+		c.pool.Put(req) // stale fill (entry already satisfied)
+		return true
 	}
 	if e.prefetchOnly {
 		c.Stats.PrefetchFills++
@@ -581,15 +676,20 @@ func (c *Cache) installFill(now int64, req *memsys.Request) bool {
 		}
 	}
 	for _, w := range e.waiters {
-		if w.ReturnTo != nil {
-			w.ReturnTo.ReturnData(now, w)
-		}
+		// Latency stats read w before ReturnData: the receiver may
+		// recycle the request as soon as it gets it back.
 		if w.Type.IsDemand() {
 			c.Stats.DemandMissLatency += uint64(now - w.Born)
 			c.Stats.DemandMissSamples++
 		}
+		if w.ReturnTo != nil {
+			w.ReturnTo.ReturnData(now, w)
+		} else {
+			c.pool.Put(w) // terminal: store RFO or prefetch waiter
+		}
 	}
 	c.mshr.free(block)
+	c.pool.Put(req) // the forwarded request this cache created
 	return true
 }
 
@@ -612,13 +712,15 @@ func (c *Cache) install(now int64, req *memsys.Request, prefetched bool, class m
 		way = c.pol.Victim(set, req)
 		victim := &c.lines[base+way]
 		if victim.Dirty {
-			wb := &memsys.Request{
+			wb := c.pool.Get()
+			*wb = memsys.Request{
 				Addr:   victim.Tag << memsys.BlockBits,
 				Type:   memsys.Writeback,
 				CoreID: req.CoreID,
 				Born:   now,
 			}
 			if c.lower == nil || !c.lower.AddWrite(wb) {
+				c.pool.Put(wb)
 				return false
 			}
 			c.Stats.Writebacks++
@@ -637,8 +739,8 @@ func (c *Cache) install(now int64, req *memsys.Request, prefetched bool, class m
 		Class:      class,
 	}
 	c.pol.Fill(set, way, req)
-	if _, isNil := c.pf.(prefetch.Nil); !isNil {
-		c.pf.Fill(now, &prefetch.FillEvent{
+	if !c.pfNil {
+		c.fillEv = prefetch.FillEvent{
 			Addr:                  memsys.BlockAlign(req.Addr),
 			VAddr:                 memsys.BlockAlign(req.VAddr),
 			Set:                   set,
@@ -647,7 +749,8 @@ func (c *Cache) install(now int64, req *memsys.Request, prefetched bool, class m
 			Class:                 class,
 			Evicted:               evicted,
 			EvictedUnusedPrefetch: evictedUnused,
-		})
+		}
+		c.pf.Fill(now, &c.fillEv)
 	}
 	return true
 }
@@ -662,12 +765,14 @@ func (c *Cache) handleWrite(now int64, r *memsys.Request) bool {
 		line := &c.lines[set*c.cfg.Ways+way]
 		line.Dirty = true
 		c.pol.Hit(set, way, r)
+		c.pool.Put(r)
 		return true
 	}
 	if !c.install(now, r, false, memsys.ClassNone) {
 		return false
 	}
 	c.count(memsys.Writeback, false)
+	c.pool.Put(r)
 	return true
 }
 

@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"math"
+
+	"ipcp/internal/memsys"
+)
+
+// fillRec is a returned block waiting to be installed.
+type fillRec struct {
+	ready int64
+	req   *memsys.Request
+}
+
+// fillRing holds returned blocks until their ready cycle, in arrival
+// order. It replaces the per-cycle rebuild of a fills slice with an
+// in-place ring plus a min-ready gate: on cycles where nothing is due
+// the whole processing pass is a single comparison, and when entries
+// are consumed the survivors compact in place without churning the
+// allocator. Arrival order is preserved exactly — install order is
+// architecturally visible (replacement state, writeback order), so the
+// ring must not reorder.
+type fillRing struct {
+	buf  []fillRec // len(buf) is a power of two
+	head int
+	size int
+	// minReady is the earliest ready cycle of any held entry
+	// (math.MaxInt64 when empty): the cache's fill-side next event.
+	minReady int64
+}
+
+func newFillRing() fillRing {
+	return fillRing{buf: make([]fillRec, 8), minReady: math.MaxInt64}
+}
+
+func (f *fillRing) len() int { return f.size }
+
+func (f *fillRing) push(ready int64, req *memsys.Request) {
+	if f.size == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.size)&(len(f.buf)-1)] = fillRec{ready: ready, req: req}
+	f.size++
+	if ready < f.minReady {
+		f.minReady = ready
+	}
+}
+
+func (f *fillRing) grow() {
+	next := make([]fillRec, len(f.buf)*2)
+	for i := 0; i < f.size; i++ {
+		next[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+	}
+	f.buf = next
+	f.head = 0
+}
+
+// process invokes install for every entry due at now, in arrival order,
+// compacting survivors (not yet due, or install returned false) in
+// place. It mirrors the original slice rebuild exactly: a blocked
+// install keeps its position and later due entries are still attempted.
+func (f *fillRing) process(now int64, install func(*memsys.Request) bool) {
+	if f.minReady > now {
+		return
+	}
+	mask := len(f.buf) - 1
+	kept := 0
+	newMin := int64(math.MaxInt64)
+	for i := 0; i < f.size; i++ {
+		rec := f.buf[(f.head+i)&mask]
+		if rec.ready <= now && install(rec.req) {
+			continue
+		}
+		f.buf[(f.head+kept)&mask] = rec
+		kept++
+		if rec.ready < newMin {
+			newMin = rec.ready
+		}
+	}
+	// Clear vacated slots so consumed requests are recyclable.
+	for i := kept; i < f.size; i++ {
+		f.buf[(f.head+i)&mask] = fillRec{}
+	}
+	f.size = kept
+	f.minReady = newMin
+}

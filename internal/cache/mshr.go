@@ -9,6 +9,10 @@ type mshrEntry struct {
 	block   uint64 // block number (addr >> BlockBits)
 	waiters []*memsys.Request
 
+	// live marks the slot occupied (entries are embedded by value in
+	// the fixed table, so there is no nil to test).
+	live bool
+
 	// issued is set once the miss has been forwarded to the lower
 	// level; readyToIssue delays forwarding by the tag-lookup latency.
 	issued       bool
@@ -30,53 +34,130 @@ type mshrEntry struct {
 }
 
 // mshrTable is a fully associative miss-status holding register file.
-// Iteration over entries is in allocation order so the simulation stays
-// deterministic.
+// Entries are embedded by value in a table sized to the configured MSHR
+// count: lookups are a linear scan (hardware MSHRs are this small — 8
+// to 32 entries — and the scan beats a map's hashing and per-entry
+// allocation on the simulator's hottest path). Iteration over entries
+// is in allocation order so the simulation stays deterministic, and a
+// freed entry's waiters backing array is kept for its slot's next
+// occupant.
 type mshrTable struct {
-	byBlock map[uint64]*mshrEntry
-	order   []*mshrEntry
-	cap     int
+	entries []mshrEntry
+	// order lists occupied slot indices in allocation order.
+	order []int
+	count int
+	// pendingIssue counts live entries not yet forwarded downward; the
+	// per-cycle unissued/nextIssue scans short-circuit when it is zero
+	// (the common steady state: every outstanding miss already issued
+	// and waiting for its fill).
+	pendingIssue int
 }
 
 func newMSHR(capacity int) *mshrTable {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &mshrTable{byBlock: make(map[uint64]*mshrEntry, capacity), cap: capacity}
+	return &mshrTable{
+		entries: make([]mshrEntry, capacity),
+		order:   make([]int, 0, capacity),
+	}
 }
 
-func (m *mshrTable) find(block uint64) *mshrEntry { return m.byBlock[block] }
+func (m *mshrTable) find(block uint64) *mshrEntry {
+	for _, slot := range m.order {
+		if e := &m.entries[slot]; e.block == block {
+			return e
+		}
+	}
+	return nil
+}
 
-func (m *mshrTable) full() bool { return len(m.order) >= m.cap }
+func (m *mshrTable) full() bool { return m.count >= len(m.entries) }
 
-func (m *mshrTable) len() int { return len(m.order) }
+func (m *mshrTable) len() int { return m.count }
 
-// alloc inserts a new entry; the caller must have checked full().
-func (m *mshrTable) alloc(e *mshrEntry) {
-	m.byBlock[e.block] = e
-	m.order = append(m.order, e)
+// alloc claims a free slot and returns it; the caller must have checked
+// full() and must set every field except waiters, which comes back
+// emptied with its backing array intact — append to it rather than
+// assigning a fresh slice.
+func (m *mshrTable) alloc() *mshrEntry {
+	for i := range m.entries {
+		if e := &m.entries[i]; !e.live {
+			w := e.waiters[:0]
+			*e = mshrEntry{live: true, waiters: w}
+			m.order = append(m.order, i)
+			m.count++
+			m.pendingIssue++
+			return e
+		}
+	}
+	return nil // unreachable when the caller honours full()
+}
+
+// markIssued flags e as forwarded; always use this instead of setting
+// e.issued directly so the pendingIssue count stays exact.
+func (m *mshrTable) markIssued(e *mshrEntry) {
+	e.issued = true
+	m.pendingIssue--
 }
 
 func (m *mshrTable) free(block uint64) {
-	e, ok := m.byBlock[block]
-	if !ok {
-		return
-	}
-	delete(m.byBlock, block)
-	for i, x := range m.order {
-		if x == e {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
+	for i := range m.entries {
+		e := &m.entries[i]
+		if !e.live || e.block != block {
+			continue
 		}
+		if !e.issued {
+			m.pendingIssue--
+		}
+		// Drop request references (they recycle through the pool) but
+		// keep the backing array for the slot's next occupant.
+		for j := range e.waiters {
+			e.waiters[j] = nil
+		}
+		e.waiters = e.waiters[:0]
+		e.live = false
+		for j, slot := range m.order {
+			if slot == i {
+				m.order = append(m.order[:j], m.order[j+1:]...)
+				break
+			}
+		}
+		m.count--
+		return
 	}
 }
 
 // unissued invokes f for every entry not yet forwarded downward, in
 // allocation order.
 func (m *mshrTable) unissued(f func(*mshrEntry)) {
-	for _, e := range m.order {
-		if !e.issued {
+	if m.pendingIssue == 0 {
+		return
+	}
+	for _, slot := range m.order {
+		if e := &m.entries[slot]; !e.issued {
 			f(e)
 		}
 	}
+}
+
+// nextIssue reports the earliest readyToIssue among unissued entries
+// and whether one exists (the cache's next-event bound).
+func (m *mshrTable) nextIssue() (int64, bool) {
+	if m.pendingIssue == 0 {
+		return 0, false
+	}
+	var t int64
+	found := false
+	for _, slot := range m.order {
+		e := &m.entries[slot]
+		if e.issued {
+			continue
+		}
+		if !found || e.readyToIssue < t {
+			t = e.readyToIssue
+			found = true
+		}
+	}
+	return t, found
 }

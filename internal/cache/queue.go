@@ -6,24 +6,41 @@ import "ipcp/internal/memsys"
 // (peek then pop) so a handler that cannot make progress — e.g. the
 // MSHR is full — can leave the request at the head and retry on a
 // later cycle, which is how the hardware queues behave.
+//
+// The backing buffer is rounded up to a power of two so indexing is a
+// mask instead of a modulo; capacity semantics (full, cap) still follow
+// the configured size, so a 6-entry queue rejects the 7th push exactly
+// as before.
 type queue struct {
-	buf  []*memsys.Request
-	head int
-	size int
+	buf      []*memsys.Request // len(buf) is a power of two
+	mask     int
+	capacity int // configured capacity; size never exceeds it
+	head     int
+	size     int
+}
+
+// ceilPow2 returns the smallest power of two >= n (n >= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 func newQueue(capacity int) *queue {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &queue{buf: make([]*memsys.Request, capacity)}
+	n := ceilPow2(capacity)
+	return &queue{buf: make([]*memsys.Request, n), mask: n - 1, capacity: capacity}
 }
 
 func (q *queue) push(r *memsys.Request) bool {
-	if q.size == len(q.buf) {
+	if q.size == q.capacity {
 		return false
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = r
+	q.buf[(q.head+q.size)&q.mask] = r
 	q.size++
 	return true
 }
@@ -40,10 +57,10 @@ func (q *queue) pop() {
 		return
 	}
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & q.mask
 	q.size--
 }
 
 func (q *queue) len() int   { return q.size }
-func (q *queue) full() bool { return q.size == len(q.buf) }
-func (q *queue) cap() int   { return len(q.buf) }
+func (q *queue) full() bool { return q.size == q.capacity }
+func (q *queue) cap() int   { return q.capacity }

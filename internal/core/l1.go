@@ -685,6 +685,18 @@ func (p *L1IPCP) Cycle(now int64) {
 	}
 }
 
+// NextEvent implements prefetch.NextEventer: the only clocked work is
+// the MPKC epoch close, exactly 4096 cycles after the last mark. The
+// bound keeps the epoch denominator bit-identical under fast-forwarding
+// (the epoch must close at cycleMark+4096, never later).
+func (p *L1IPCP) NextEvent(now int64) int64 {
+	next := p.cycleMark + 4096
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
 func boolToInt(b bool) int {
 	if b {
 		return 1

@@ -176,6 +176,16 @@ func (p *L2IPCP) Cycle(now int64) {
 	}
 }
 
+// NextEvent implements prefetch.NextEventer: the MPKC epoch closes
+// exactly 4096 cycles after the last mark (see L1IPCP.NextEvent).
+func (p *L2IPCP) NextEvent(now int64) int64 {
+	next := p.cycleMark + 4096
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
 // NLEnabled reports the tentative-NL gate state (testing).
 func (p *L2IPCP) NLEnabled() bool { return p.nlOn }
 

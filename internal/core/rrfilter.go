@@ -9,7 +9,10 @@ import "ipcp/internal/memsys"
 // the candidate instead (§V, "L1-D bandwidth and Recent Request
 // Filter").
 type rrFilter struct {
-	tags []uint16
+	// tags is a fixed array: the probe loop runs on every candidate the
+	// L1 IPCP generates, and the embedded array spares it a pointer
+	// indirection and slice bounds checks.
+	tags [rrEntries]uint16
 	pos  int
 
 	// probes/hits are observation counters for telemetry snapshots;
@@ -24,7 +27,7 @@ const (
 )
 
 func newRRFilter() *rrFilter {
-	f := &rrFilter{tags: make([]uint16, rrEntries)}
+	f := &rrFilter{}
 	for i := range f.tags {
 		f.tags[i] = 0xffff // invalid
 	}
@@ -40,7 +43,7 @@ func rrTag(addr memsys.Addr) uint16 {
 func (f *rrFilter) hit(addr memsys.Addr) bool {
 	f.probes++
 	t := rrTag(addr)
-	for _, x := range f.tags {
+	for _, x := range &f.tags {
 		if x == t {
 			f.hits++
 			return true

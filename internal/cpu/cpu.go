@@ -8,6 +8,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"ipcp/internal/memsys"
 	"ipcp/internal/trace"
@@ -84,6 +85,45 @@ type pendingLoad struct {
 	isStore bool
 }
 
+// loadRing is a growable FIFO of pending loads. It replaces the old
+// loadQ slice, whose head-slide (loadQ = loadQ[1:]) forced a fresh
+// backing array every drain cycle; the ring reuses one buffer for the
+// life of the core.
+type loadRing struct {
+	buf  []pendingLoad // len(buf) is a power of two (or 0 before first push)
+	head int
+	size int
+}
+
+func (q *loadRing) push(pl pendingLoad) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)&(len(q.buf)-1)] = pl
+	q.size++
+}
+
+func (q *loadRing) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	next := make([]pendingLoad, n)
+	for i := 0; i < q.size; i++ {
+		next[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = next
+	q.head = 0
+}
+
+// front returns the oldest entry; only valid when size > 0.
+func (q *loadRing) front() *pendingLoad { return &q.buf[q.head] }
+
+func (q *loadRing) pop() {
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.size--
+}
+
 // Core is one simulated CPU.
 type Core struct {
 	ID  int
@@ -101,7 +141,7 @@ type Core struct {
 	robCount int
 	seq      int64
 
-	loadQ       []pendingLoad
+	loadQ       loadRing
 	lastLoadSeq int64
 
 	bp bimodal
@@ -113,6 +153,19 @@ type Core struct {
 	seqCode         int64
 
 	streamEnded bool
+
+	// instr is the dispatch decode buffer: passing a stack variable's
+	// address through the trace.Stream interface would heap-allocate one
+	// Instr per dispatched instruction. Streams reset or fully overwrite
+	// it in Next.
+	instr trace.Instr
+
+	// pool recycles Requests (nil: allocate per request).
+	pool *memsys.RequestPool
+	// issueBlockedOnSink records that the load-queue head bounced off a
+	// full L1-D read queue this cycle; the queue can only drain through
+	// cache activity, which pins the scheduler awake on the cache side.
+	issueBlockedOnSink bool
 
 	Stats Stats
 }
@@ -144,6 +197,9 @@ func (c *Core) Attach(l1d, l1i memsys.Sink) {
 	c.l1i = l1i
 }
 
+// SetRequestPool attaches the system-wide request free list.
+func (c *Core) SetRequestPool(p *memsys.RequestPool) { c.pool = p }
+
 // PageTable exposes the core's address space (the L1-D prefetcher's
 // translator uses it).
 func (c *Core) PageTable() *vmem.PageTable { return c.pt }
@@ -159,8 +215,14 @@ func (c *Core) ResetStats() { c.Stats = Stats{} }
 func (c *Core) Done() bool { return c.streamEnded && c.robCount == 0 }
 
 // ReturnData implements memsys.Receiver: load data and code reads
-// coming back from the L1s.
+// coming back from the L1s. The core created these requests, so it
+// recycles them here — the caller must not touch r afterwards.
 func (c *Core) ReturnData(ready int64, r *memsys.Request) {
+	c.returnData(ready, r)
+	c.pool.Put(r)
+}
+
+func (c *Core) returnData(ready int64, r *memsys.Request) {
 	if r.Type == memsys.CodeRead {
 		if r.Tag == c.codeSeq {
 			c.codeSeq = -1
@@ -197,6 +259,85 @@ func (c *Core) Cycle(now int64) {
 	c.dispatch(now)
 }
 
+// NextEvent reports the earliest future cycle at which clocking the
+// core could change architectural state. Between now and the returned
+// cycle, every Cycle call would only bump the per-cycle stall counters,
+// whose per-cycle behaviour is constant across the span — AccountSkip
+// replays them in closed form. math.MaxInt64 means the core is inert
+// until an external data return arrives (those happen only inside some
+// cache's own event, which bounds the global skip).
+func (c *Core) NextEvent(now int64) int64 {
+	next := int64(math.MaxInt64)
+
+	// Retirement: the head entry completes at doneAt (pending loads are
+	// finalized by ReturnData during clocked cycles only).
+	if c.robCount > 0 {
+		e := &c.rob[c.robHead]
+		if e.pendingLoads == 0 {
+			if e.doneAt <= now {
+				return now + 1
+			}
+			if e.doneAt < next {
+				next = e.doneAt
+			}
+		}
+	}
+
+	// Load issue: the queue head either waits for translation
+	// (readyAt), for its address dependency (the dep entry's doneAt),
+	// or for an L1-D queue slot (cache activity keeps the system
+	// clocked until the queue drains).
+	if c.loadQ.size > 0 {
+		pl := c.loadQ.front()
+		if pl.depSeq != 0 && !c.depResolved(now, pl.depSeq) {
+			de := &c.rob[int((pl.depSeq-1)%int64(len(c.rob)))]
+			if de.pendingLoads == 0 && de.doneAt > now && de.doneAt < next {
+				next = de.doneAt
+			}
+		} else if pl.readyAt > now {
+			if pl.readyAt < next {
+				next = pl.readyAt
+			}
+		} else if !c.issueBlockedOnSink {
+			return now + 1
+		}
+	}
+
+	// Dispatch: a pending fetch stall is always a breakpoint (the
+	// FetchStall→ROBFull accounting switch happens there); otherwise an
+	// unstalled core with ROB space and a live stream dispatches next
+	// cycle.
+	if c.fetchStallUntil > now {
+		if c.fetchStallUntil < next {
+			next = c.fetchStallUntil
+		}
+	} else if !c.streamEnded && c.robCount < len(c.rob) {
+		return now + 1
+	}
+
+	return next
+}
+
+// AccountSkip replays the per-cycle statistics for the skipped cycles
+// [from, to). NextEvent's breakpoints guarantee each condition below is
+// constant across the span, so the closed form equals clocking every
+// cycle.
+func (c *Core) AccountSkip(from, to int64) {
+	d := uint64(to - from)
+	c.Stats.Cycles += d
+	if c.loadQ.size > 0 {
+		pl := c.loadQ.front()
+		if pl.depSeq != 0 && !c.depResolved(from, pl.depSeq) {
+			c.Stats.DepBlocked += d
+		}
+	}
+	if from < c.fetchStallUntil {
+		c.Stats.FetchStallCycles += d
+	} else if c.robCount == len(c.rob) {
+		c.Stats.ROBFullCycles += d
+	}
+}
+
 func (c *Core) retire(now int64) {
 	for n := 0; n < c.cfg.Width && c.robCount > 0; n++ {
 		e := &c.rob[c.robHead]
@@ -230,9 +371,10 @@ func (c *Core) depResolved(now, dep int64) bool {
 // classifiers see on real hardware — and makes dependent chains
 // expose memory latency exactly as pointer chases do.
 func (c *Core) issueLoads(now int64) {
+	c.issueBlockedOnSink = false
 	budget := c.cfg.LoadPortsPerCycle
-	for budget > 0 && len(c.loadQ) > 0 {
-		pl := &c.loadQ[0]
+	for budget > 0 && c.loadQ.size > 0 {
+		pl := c.loadQ.front()
 		if pl.depSeq != 0 && !c.depResolved(now, pl.depSeq) {
 			c.Stats.DepBlocked++
 			return
@@ -240,7 +382,8 @@ func (c *Core) issueLoads(now int64) {
 		if pl.readyAt > now {
 			return
 		}
-		r := &memsys.Request{
+		r := c.pool.Get()
+		*r = memsys.Request{
 			Addr:     pl.paddr,
 			VAddr:    pl.vaddr,
 			IP:       pl.ipVal,
@@ -255,13 +398,12 @@ func (c *Core) issueLoads(now int64) {
 			r.ReturnTo = nil
 		}
 		if !c.l1d.AddRead(r) {
+			c.pool.Put(r)
+			c.issueBlockedOnSink = true
 			return
 		}
-		c.loadQ = c.loadQ[1:]
+		c.loadQ.pop()
 		budget--
-	}
-	if len(c.loadQ) == 0 {
-		c.loadQ = nil // release the drained backing array
 	}
 }
 
@@ -275,12 +417,12 @@ func (c *Core) dispatch(now int64) {
 			c.Stats.ROBFullCycles++
 			return
 		}
-		var in trace.Instr
-		if !c.stream.Next(&in) {
+		in := &c.instr
+		if !c.stream.Next(in) {
 			// Finite traces replay from the start (the paper replays
 			// benchmarks that finish early in multi-core mixes).
 			c.stream.Reset()
-			if !c.stream.Next(&in) {
+			if !c.stream.Next(in) {
 				c.streamEnded = true
 				return
 			}
@@ -312,7 +454,7 @@ func (c *Core) dispatch(now int64) {
 			if in.DepPrev && c.lastLoadSeq != seq {
 				dep = c.lastLoadSeq
 			}
-			c.loadQ = append(c.loadQ, pendingLoad{
+			c.loadQ.push(pendingLoad{
 				seq:     seq,
 				vaddr:   v,
 				paddr:   c.pt.Translate(v),
@@ -333,7 +475,7 @@ func (c *Core) dispatch(now int64) {
 			}
 			c.Stats.Stores++
 			lat := c.tlb.AccessLatency(v)
-			c.loadQ = append(c.loadQ, pendingLoad{
+			c.loadQ.push(pendingLoad{
 				seq:     seq,
 				vaddr:   v,
 				paddr:   c.pt.Translate(v),
@@ -367,7 +509,8 @@ func (c *Core) fetchBlock(now int64, ip memsys.Addr) {
 		return
 	}
 	c.seqCode++
-	r := &memsys.Request{
+	r := c.pool.Get()
+	*r = memsys.Request{
 		Addr:     memsys.BlockAlign(ip), // code: identity-mapped
 		VAddr:    memsys.BlockAlign(ip),
 		IP:       ip,
@@ -380,6 +523,8 @@ func (c *Core) fetchBlock(now int64, ip memsys.Addr) {
 	if c.l1i.AddRead(r) {
 		c.codeSeq = c.seqCode
 		c.codeIssuedAt = now
+	} else {
+		c.pool.Put(r)
 	}
 }
 

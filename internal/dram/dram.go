@@ -7,6 +7,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 
 	"ipcp/internal/memsys"
 )
@@ -115,7 +116,9 @@ type Controller struct {
 	// nowApprox timestamps arrivals for the starvation cap (updated
 	// each Cycle).
 	nowApprox int64
-	Stats     Stats
+	// pool recycles writeback requests once they are scheduled.
+	pool  *memsys.RequestPool
+	Stats Stats
 }
 
 // New validates cfg and returns a Controller.
@@ -144,9 +147,17 @@ func New(cfg Config) (*Controller, error) {
 	}
 	for i := range c.chans {
 		c.chans[i].banks = make([]bank, cfg.BanksPerChannel)
+		// Queues never exceed QueueSize; reserving it up front keeps the
+		// steady state free of append growth.
+		c.chans[i].readQ = make([]pending, 0, cfg.QueueSize)
+		c.chans[i].writeQ = make([]pending, 0, cfg.QueueSize)
 	}
 	return c, nil
 }
+
+// SetRequestPool attaches the system-wide request free list (nil keeps
+// plain allocation).
+func (c *Controller) SetRequestPool(p *memsys.RequestPool) { c.pool = p }
 
 // decode maps a physical block address onto (channel, bank, row).
 // Layout from LSB: channel | column | bank | row, so consecutive
@@ -314,11 +325,49 @@ func (c *Controller) start(now int64, cn *channel, q *[]pending, idx int) {
 
 	if p.isWrite {
 		c.Stats.Writes++
+		c.pool.Put(p.req) // writebacks terminate here
 		return
 	}
 	c.Stats.Reads++
 	if p.req.ReturnTo != nil {
 		p.req.ReturnTo.ReturnData(done, p.req)
+	}
+}
+
+// NextEvent reports the earliest future cycle at which clocking the
+// controller could change state: any queued request keeps it awake
+// (scheduling decisions are per-cycle); with every queue empty, Cycle
+// only bumps the per-cycle counters, which AccountSkip replays.
+func (c *Controller) NextEvent(now int64) int64 {
+	for i := range c.chans {
+		cn := &c.chans[i]
+		if len(cn.readQ) > 0 || len(cn.writeQ) > 0 {
+			return now + 1
+		}
+	}
+	return math.MaxInt64
+}
+
+// AccountSkip replays the per-cycle statistics for the skipped cycles
+// [from, to). Skips only happen with every queue empty (see NextEvent),
+// where each clocked cycle would count Cycles, count BusBusyCycles
+// while a tail transfer drains, and clear the write-drain flag.
+func (c *Controller) AccountSkip(from, to int64) {
+	c.Stats.Cycles += uint64(to - from)
+	var maxBusFree int64
+	for i := range c.chans {
+		cn := &c.chans[i]
+		cn.drainWrites = false
+		if cn.busFreeAt > maxBusFree {
+			maxBusFree = cn.busFreeAt
+		}
+	}
+	if maxBusFree > from {
+		end := maxBusFree
+		if end > to {
+			end = to
+		}
+		c.Stats.BusBusyCycles += uint64(end - from)
 	}
 }
 

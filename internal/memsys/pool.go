@@ -1,0 +1,52 @@
+package memsys
+
+// RequestPool is a free list of Request values shared by the components
+// of one simulated system. The simulator is single-threaded per system,
+// so a plain slice beats sync.Pool: no locking, no per-P caches, and
+// requests recycle deterministically.
+//
+// Ownership protocol: the component that finishes a request recycles
+// it — a core recycles its own requests when ReturnData hands them
+// back, a cache recycles the forwarded requests it created once their
+// fill installs (and any waiter whose ReturnTo is nil), and the DRAM
+// controller recycles writebacks when they are scheduled. Get returns
+// a dirty Request; every creation site must overwrite the whole struct
+// (a full composite-literal assignment), never field-by-field.
+//
+// A nil *RequestPool is valid and degrades to plain allocation, so
+// components constructed outside sim.Build (unit tests, tools) work
+// unchanged.
+type RequestPool struct {
+	free []*Request
+}
+
+// NewRequestPool returns an empty pool.
+func NewRequestPool() *RequestPool { return &RequestPool{} }
+
+// Get returns a Request for reuse. The caller must overwrite every
+// field before use; the returned value holds stale contents.
+func (p *RequestPool) Get() *Request {
+	if p == nil || len(p.free) == 0 {
+		return &Request{}
+	}
+	r := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return r
+}
+
+// Put recycles r. The caller must not touch r afterwards; r must not be
+// reachable from any queue, MSHR, or fill buffer.
+func (p *RequestPool) Put(r *Request) {
+	if p == nil || r == nil {
+		return
+	}
+	p.free = append(p.free, r)
+}
+
+// Len reports the number of free requests held (testing).
+func (p *RequestPool) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}

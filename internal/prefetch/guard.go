@@ -64,6 +64,13 @@ type Guard struct {
 	tr     *telemetry.Tracer
 	trCore int
 
+	// gi is the reusable budget-checking issuer Operate passes to the
+	// inner prefetcher (avoids boxing a fresh one per access).
+	gi guardIssuer
+	// innerNext caches inner's NextEventer (nil when not implemented) —
+	// NextEvent runs once per simulated cycle per cache.
+	innerNext NextEventer
+
 	Stats GuardStats
 	// Stack holds the stack trace of the recovered panic, if any.
 	Stack []byte
@@ -85,7 +92,9 @@ func NewGuardConfigured(inner Prefetcher, level memsys.Level, cfg GuardConfig) *
 	if cfg.MaxStrikes <= 0 {
 		cfg.MaxStrikes = def.MaxStrikes
 	}
-	return &Guard{inner: inner, level: level, cfg: cfg, trCore: -1}
+	g := &Guard{inner: inner, level: level, cfg: cfg, trCore: -1}
+	g.innerNext, _ = inner.(NextEventer)
+	return g
 }
 
 // Unwrap returns the guarded prefetcher (telemetry type assertions go
@@ -143,8 +152,12 @@ func (g *Guard) Operate(now int64, a *Access, iss Issuer) {
 		return
 	}
 	defer g.recovered(now, "Operate")
-	gi := guardIssuer{g: g, inner: iss, now: now, trigger: triggerAddr(a)}
-	g.inner.Operate(now, a, &gi)
+	// Reuse the embedded issuer: a fresh guardIssuer here would escape
+	// into the Issuer interface and heap-allocate on every access. Safe
+	// because Operate never re-enters the same guard (issuing a
+	// candidate enqueues it; it is serviced on a later cycle).
+	g.gi = guardIssuer{g: g, inner: iss, now: now, trigger: triggerAddr(a)}
+	g.inner.Operate(now, a, &g.gi)
 }
 
 // triggerAddr picks the address space candidates are checked against:

@@ -1,0 +1,85 @@
+package prefetch
+
+// NextEvent implementations for the built-in prefetchers (see the
+// NextEventer contract in prefetch.go). A prefetcher whose Cycle hook
+// is an unconditional no-op always reports NoEvent: skipping its Cycle
+// calls cannot change anything. Wrappers delegate; anything stateful
+// reports the earliest cycle its Cycle hook would act.
+
+func (p *BOP) NextEvent(int64) int64         { return NoEvent }
+func (p *NextLine) NextEvent(int64) int64    { return NoEvent }
+func (p *VLDP) NextEvent(int64) int64        { return NoEvent }
+func (p *IPStride) NextEvent(int64) int64    { return NoEvent }
+func (p *SMS) NextEvent(int64) int64         { return NoEvent }
+func (p *DSPatch) NextEvent(int64) int64     { return NoEvent }
+func (p *MLOP) NextEvent(int64) int64        { return NoEvent }
+func (p *ThrottledNL) NextEvent(int64) int64 { return NoEvent }
+func (p *Stream) NextEvent(int64) int64      { return NoEvent }
+func (p *Bingo) NextEvent(int64) int64       { return NoEvent }
+func (p *SPP) NextEvent(int64) int64         { return NoEvent }
+
+// NextEvent reports the earliest pending delayed release. The scheduler
+// never jumps past it, so Cycle observes exactly the same delayed set at
+// the release cycle as it would under cycle-by-cycle clocking.
+func (p *TSKID) NextEvent(now int64) int64 {
+	if len(p.delayed) == 0 {
+		return NoEvent
+	}
+	next := NoEvent
+	for _, d := range p.delayed {
+		if d.at < next {
+			next = d.at
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// NextEvent delegates to the guarded prefetcher. A tripped (disabled)
+// guard is permanently inert. An inner prefetcher that does not declare
+// its own bound keeps the conservative every-cycle clocking — that
+// includes the fault-injection prefetchers, whose panics must fire at
+// exactly the same cycle as under the reference scheduler.
+func (g *Guard) NextEvent(now int64) int64 {
+	if g.disabled {
+		return NoEvent
+	}
+	if g.innerNext != nil {
+		return g.innerNext.NextEvent(now)
+	}
+	return now + 1
+}
+
+// NextEvent delegates to the filtered prefetcher (the perceptron layer
+// itself has no clocked state).
+func (p *PPF) NextEvent(now int64) int64 {
+	if ne, ok := p.inner.(NextEventer); ok {
+		return ne.NextEvent(now)
+	}
+	return now + 1
+}
+
+// NextEvent delegates to the wrapped prefetcher.
+func (f FillAt) NextEvent(now int64) int64 {
+	if ne, ok := f.Inner.(NextEventer); ok {
+		return ne.NextEvent(now)
+	}
+	return now + 1
+}
+
+// NextEvent reports the earliest bound across all children.
+func (c *Composite) NextEvent(now int64) int64 {
+	next := NoEvent
+	for _, ch := range c.children {
+		t := now + 1
+		if ne, ok := ch.(NextEventer); ok {
+			t = ne.NextEvent(now)
+		}
+		if t < next {
+			next = t
+		}
+	}
+	return next
+}

@@ -12,6 +12,7 @@ package prefetch
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ipcp/internal/memsys"
@@ -97,6 +98,22 @@ type Prefetcher interface {
 	Cycle(now int64)
 }
 
+// NoEvent is the NextEvent return value meaning "no self-scheduled
+// work": the prefetcher's Cycle hook is a no-op until some external
+// input (an Operate or Fill call) arrives.
+const NoEvent = int64(math.MaxInt64)
+
+// NextEventer is optionally implemented by prefetchers whose Cycle hook
+// does periodic work (epoch counters, delayed-release queues). NextEvent
+// returns the earliest cycle > now at which Cycle must run to preserve
+// bit-identical behaviour, or NoEvent if Cycle is a pure no-op until the
+// prefetcher next observes an access or fill. The fast-forwarding
+// scheduler treats a prefetcher that does NOT implement this interface
+// conservatively: its cache is clocked every cycle.
+type NextEventer interface {
+	NextEvent(now int64) int64
+}
+
 // Nil is a no-op prefetcher, used where a level has prefetching
 // disabled.
 type Nil struct{}
@@ -105,6 +122,7 @@ func (Nil) Name() string                   { return "none" }
 func (Nil) Operate(int64, *Access, Issuer) {}
 func (Nil) Fill(int64, *FillEvent)         {}
 func (Nil) Cycle(int64)                    {}
+func (Nil) NextEvent(int64) int64          { return NoEvent }
 
 // --- Registry ---------------------------------------------------------
 

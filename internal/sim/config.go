@@ -73,6 +73,13 @@ type Config struct {
 	// guard; 0 means a generous default is derived from the
 	// instruction budget).
 	MaxCycles int64
+
+	// DisableFastForward forces the scheduler to clock every component
+	// on every cycle instead of skipping provably idle spans. The two
+	// modes produce bit-identical results (the determinism suite holds
+	// them to that); the reference mode exists for that comparison and
+	// for debugging the scheduler itself.
+	DisableFastForward bool
 }
 
 // PaperConfig returns the simulated system of the paper's Table II for

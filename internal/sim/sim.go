@@ -213,6 +213,18 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 		s.l1is = append(s.l1is, l1i)
 		s.l2s = append(s.l2s, l2)
 	}
+
+	// One request free list per system (the simulator is single-threaded
+	// within a system; separate systems may run concurrently).
+	pool := memsys.NewRequestPool()
+	s.mem.SetRequestPool(pool)
+	s.llc.SetRequestPool(pool)
+	for i := range s.cores {
+		s.cores[i].SetRequestPool(pool)
+		s.l1ds[i].SetRequestPool(pool)
+		s.l1is[i].SetRequestPool(pool)
+		s.l2s[i].SetRequestPool(pool)
+	}
 	return s, nil
 }
 
@@ -393,6 +405,88 @@ func (s *System) step() {
 	}
 }
 
+// fastForward advances s.cycle past cycles every component reports as
+// no-ops. Each component's NextEvent(now) names the earliest cycle > now
+// at which clocking it could change state; the global minimum bounds a
+// span of provable no-op cycles that the scheduler skips in one jump,
+// replaying the per-cycle counters (core stall accounting, DRAM
+// cycle/bus counters) in closed form via AccountSkip. Jumps are capped
+// at the run deadline and the next interval-sample boundary, so error
+// cycles and telemetry samples land on exactly the cycles the
+// cycle-by-cycle reference would produce. The skipped spans contain no
+// activity at all, so results are bit-identical with or without
+// fast-forwarding (tested by TestFastForwardMatchesReference).
+func (s *System) fastForward(deadline int64) {
+	if s.cfg.DisableFastForward {
+		return
+	}
+	now := s.cycle - 1 // the cycle step() just clocked
+	// Any component due next cycle forecloses a jump — return as soon
+	// as one says so, cheapest and most-often-active components first,
+	// so the sweep costs little on busy cycles.
+	next := int64(math.MaxInt64)
+	for i := range s.cores {
+		if t := s.cores[i].NextEvent(now); t < next {
+			if t <= s.cycle {
+				return
+			}
+			next = t
+		}
+	}
+	for i := range s.cores {
+		if t := s.l1ds[i].NextEvent(now); t < next {
+			if t <= s.cycle {
+				return
+			}
+			next = t
+		}
+		if t := s.l2s[i].NextEvent(now); t < next {
+			if t <= s.cycle {
+				return
+			}
+			next = t
+		}
+		if t := s.l1is[i].NextEvent(now); t < next {
+			if t <= s.cycle {
+				return
+			}
+			next = t
+		}
+	}
+	if t := s.llc.NextEvent(now); t < next {
+		if t <= s.cycle {
+			return
+		}
+		next = t
+	}
+	if t := s.mem.NextEvent(now); t < next {
+		if t <= s.cycle {
+			return
+		}
+		next = t
+	}
+	if next > deadline {
+		next = deadline
+	}
+	if s.sampling {
+		if b := s.lastSample + s.ilog.Every; next > b {
+			next = b
+		}
+	}
+	if next <= s.cycle {
+		return
+	}
+	from := s.cycle
+	for i := range s.cores {
+		s.cores[i].AccountSkip(from, next)
+	}
+	s.mem.AccountSkip(from, next)
+	s.cycle = next
+	if s.sampling && s.cycle-s.lastSample >= s.ilog.Every {
+		s.flushInterval()
+	}
+}
+
 // resetStats zeroes every component's counters at the warmup boundary,
 // including prefetcher observation counters, so everything reported
 // afterwards — aggregates, trace events, interval samples — covers the
@@ -440,11 +534,13 @@ func (s *System) Run(warmup, measure uint64) (*Result, error) {
 	return s.RunContext(context.Background(), warmup, measure)
 }
 
-// cancelCheckMask sets how often the simulation loop polls the context:
-// every 4096 cycles — about a microsecond of simulated time, and cheap
-// enough (one predictable branch plus an atomic load) to be invisible
-// in the cycle loop's profile.
-const cancelCheckMask = 1<<12 - 1
+// cancelCheckInterval sets how often the simulation loop polls the
+// context: at most once per 4096 advanced cycles — about a microsecond
+// of simulated time, and cheap enough (one predictable branch plus an
+// atomic load) to be invisible in the cycle loop's profile. A threshold
+// rather than a cycle-number mask: fast-forward jumps land on arbitrary
+// cycle numbers, and a mask test could miss every one of them.
+const cancelCheckInterval = 4096
 
 // RunContext is Run with cooperative cancellation: the cycle loop
 // checks ctx every few thousand cycles and returns ctx's error when it
@@ -458,18 +554,25 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 		maxCycles = int64(warmup+measure)*500 + 1_000_000
 	}
 	deadline := s.cycle + maxCycles
+	nextCancel := s.cycle
 
 	// Warmup.
 	for !s.allRetired(warmup) {
 		if s.cycle >= deadline {
 			return nil, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
 		}
-		if s.cycle&cancelCheckMask == 0 {
+		if s.cycle >= nextCancel {
+			nextCancel = s.cycle + cancelCheckInterval
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("sim: warmup cancelled at cycle %d: %w", s.cycle, err)
 			}
 		}
 		s.step()
+		// The retirement check must see the exact post-step cycle, so
+		// fast-forward only once the loop is known to continue.
+		if !s.allRetired(warmup) {
+			s.fastForward(deadline)
+		}
 	}
 	s.resetStats()
 	start := s.cycle
@@ -481,7 +584,8 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 			return nil, fmt.Errorf("sim: measurement exceeded %d cycles (%d/%d cores finished)",
 				maxCycles, done, s.cfg.Cores)
 		}
-		if s.cycle&cancelCheckMask == 0 {
+		if s.cycle >= nextCancel {
+			nextCancel = s.cycle + cancelCheckInterval
 			if err := ctx.Err(); err != nil {
 				if s.sampling {
 					s.flushInterval()
@@ -496,6 +600,11 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 				finish[i] = s.cycle
 				done++
 			}
+		}
+		// Fast-forward only after the finish scan: a finishing core's
+		// recorded cycle must be the stepped cycle, not a jump target.
+		if done < s.cfg.Cores {
+			s.fastForward(deadline)
 		}
 	}
 
@@ -554,4 +663,30 @@ func (s *System) allRetired(n uint64) bool {
 		}
 	}
 	return true
+}
+
+// Advance runs the system until every core has retired n further
+// instructions, without resetting statistics or building a Result. It
+// is the benchmark hook for measuring steady-state throughput: after a
+// warmup Run or a prior Advance, repeated calls exercise the inner loop
+// with all setup allocation already behind them.
+func (s *System) Advance(n uint64) error {
+	minRetired := uint64(math.MaxUint64)
+	for _, c := range s.cores {
+		if r := c.Retired(); r < minRetired {
+			minRetired = r
+		}
+	}
+	target := minRetired + n
+	deadline := s.cycle + int64(n)*500 + 1_000_000
+	for !s.allRetired(target) {
+		if s.cycle >= deadline {
+			return fmt.Errorf("sim: Advance(%d) exceeded %d cycles", n, deadline-s.cycle)
+		}
+		s.step()
+		if !s.allRetired(target) {
+			s.fastForward(deadline)
+		}
+	}
+	return nil
 }
