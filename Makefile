@@ -5,10 +5,10 @@ GO ?= go
 TRACKED_BENCH = SimulatorThroughput|Fig7$$|Fig8$$
 BENCH_FILE   = BENCH_throughput.json
 
-.PHONY: check build vet test determinism bench benchsmoke benchdiff fuzz
+.PHONY: check build vet test determinism audit bench benchsmoke benchdiff fuzz
 
 # Tier-1 gate: everything must pass before a change lands.
-check: build vet test determinism fuzz
+check: build vet test determinism audit fuzz
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ test:
 # kept as its own gate so a perf change can run just this, fast).
 determinism:
 	$(GO) test ./internal/sim -run 'Determinism|FastForward' -count=1
+
+# Differential audit: every bundled workload through the fully audited
+# system (shadow caches + paper-faithful IPCP oracles in lockstep),
+# fast-forward on and off, diffed. No -race: the harness is already
+# several times slower than the plain simulation, and `test` covers the
+# subset under -race.
+audit:
+	AUDIT_FULL=1 $(GO) test ./internal/audit -run 'TestDifferentialSuite|TestDeepThrottleRun' -count=1
 
 # Timed run of the tracked benchmarks, appended to $(BENCH_FILE).
 bench:

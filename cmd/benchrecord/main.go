@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"sort"
@@ -75,7 +76,7 @@ func main() {
 
 // parseBench reads `go test -bench` output and averages repeated runs of
 // the same benchmark (a -count run emits one line per repetition).
-func parseBench(r *os.File) ([]Entry, error) {
+func parseBench(r io.Reader) ([]Entry, error) {
 	sums := map[string]*Entry{}
 	counts := map[string]int{}
 	var order []string
@@ -183,13 +184,25 @@ func doRecord(path string, fresh []Entry, note string) error {
 }
 
 // doDiff prints a benchstat-style comparison and reports whether every
-// benchmark with a recorded baseline stayed within tolerance.
+// benchmark with a recorded baseline stayed within tolerance. A missing
+// or empty history is not a failure — a fresh checkout has no baseline
+// yet — but it gets an explicit notice instead of a silent pass.
 func doDiff(path string, fresh []Entry, tolerance float64) bool {
 	hist, err := loadHistory(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrecord:", err)
 		return false
 	}
+	if len(hist) == 0 {
+		fmt.Fprintf(os.Stderr, "benchrecord: no baseline history at %s; run 'make bench' to record one\n", path)
+		return true
+	}
+	return diffEntries(os.Stdout, hist, fresh, tolerance)
+}
+
+// diffEntries is the comparison core of doDiff, split out so tests can
+// drive it with in-memory histories.
+func diffEntries(w io.Writer, hist, fresh []Entry, tolerance float64) bool {
 	// Latest recorded entry per benchmark wins.
 	base := map[string]Entry{}
 	for _, e := range hist {
@@ -205,27 +218,27 @@ func doDiff(path string, fresh []Entry, tolerance float64) bool {
 	sort.Strings(names)
 
 	ok := true
-	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
 	for _, name := range names {
 		e := byName[name]
 		b, have := base[name]
 		if !have {
-			fmt.Printf("%-40s %14s %14.0f %8s  (no baseline)\n", name, "-", e.NsPerOp, "-")
+			fmt.Fprintf(w, "%-40s %14s %14.0f %8s  (no baseline)\n", name, "-", e.NsPerOp, "-")
 			continue
 		}
-		fmt.Printf("%-40s %12.0fns %12.0fns %+7.1f%%\n",
+		fmt.Fprintf(w, "%-40s %12.0fns %12.0fns %+7.1f%%\n",
 			name, b.NsPerOp, e.NsPerOp, pct(e.NsPerOp, b.NsPerOp))
 		if e.InstrPerSec > 0 && b.InstrPerSec > 0 {
 			delta := pct(e.InstrPerSec, b.InstrPerSec)
-			fmt.Printf("%-40s %11.0fi/s %11.0fi/s %+7.1f%%\n", "  instr/s", b.InstrPerSec, e.InstrPerSec, delta)
+			fmt.Fprintf(w, "%-40s %11.0fi/s %11.0fi/s %+7.1f%%\n", "  instr/s", b.InstrPerSec, e.InstrPerSec, delta)
 			if e.InstrPerSec < b.InstrPerSec*(1-tolerance) {
-				fmt.Printf("  REGRESSION: instr/s down %.1f%% (tolerance %.0f%%) vs %s\n",
+				fmt.Fprintf(w, "  REGRESSION: instr/s down %.1f%% (tolerance %.0f%%) vs %s\n",
 					-delta, tolerance*100, b.When)
 				ok = false
 			}
 		}
 		if b.AllocsPerOp > 0 || e.AllocsPerOp > 0 {
-			fmt.Printf("%-40s %13.0fa %13.0fa\n", "  allocs/op", b.AllocsPerOp, e.AllocsPerOp)
+			fmt.Fprintf(w, "%-40s %13.0fa %13.0fa\n", "  allocs/op", b.AllocsPerOp, e.AllocsPerOp)
 		}
 	}
 	return ok

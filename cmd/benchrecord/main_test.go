@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchAveragesRepeatedRuns(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+BenchmarkSimulatorThroughput-8   	      10	 100000 ns/op	  2000000 instr/s	    64 B/op	       2 allocs/op
+BenchmarkSimulatorThroughput-8   	      10	 300000 ns/op	  4000000 instr/s	   192 B/op	       4 allocs/op
+BenchmarkOther-8                 	     100	   5000 ns/op
+PASS
+`)
+	es, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 {
+		t.Fatalf("parsed %d entries, want 2: %+v", len(es), es)
+	}
+	e := es[0]
+	if e.Bench != "BenchmarkSimulatorThroughput" {
+		t.Fatalf("bench name %q", e.Bench)
+	}
+	if e.NsPerOp != 200000 || e.InstrPerSec != 3000000 || e.BytesPerOp != 128 || e.AllocsPerOp != 3 {
+		t.Fatalf("averaging wrong: %+v", e)
+	}
+	if es[1].Bench != "BenchmarkOther" || es[1].NsPerOp != 5000 {
+		t.Fatalf("second entry wrong: %+v", es[1])
+	}
+}
+
+func TestBenchName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo-128":    "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo-bar":    "BenchmarkFoo-bar",
+		"BenchmarkFigure13-4": "BenchmarkFigure13",
+	} {
+		if got := benchName(in); got != want {
+			t.Errorf("benchName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDoDiffMissingHistoryIsGraceful(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_throughput.json")
+	fresh := []Entry{{Bench: "BenchmarkX", NsPerOp: 100}}
+	if !doDiff(path, fresh, 0.10) {
+		t.Fatal("missing history must not fail the diff")
+	}
+}
+
+func TestDiffEntriesNoBaselineForBenchmark(t *testing.T) {
+	var out bytes.Buffer
+	hist := []Entry{{Bench: "BenchmarkOld", NsPerOp: 100, InstrPerSec: 1000}}
+	fresh := []Entry{{Bench: "BenchmarkNew", NsPerOp: 50}}
+	if !diffEntries(&out, hist, fresh, 0.10) {
+		t.Fatal("benchmark without a baseline must not fail the diff")
+	}
+	if !strings.Contains(out.String(), "(no baseline)") {
+		t.Fatalf("missing '(no baseline)' marker in output:\n%s", out.String())
+	}
+}
+
+func TestDiffEntriesFlagsRegression(t *testing.T) {
+	var out bytes.Buffer
+	hist := []Entry{{Bench: "BenchmarkX", NsPerOp: 100, InstrPerSec: 1000, When: "t0"}}
+	fresh := []Entry{{Bench: "BenchmarkX", NsPerOp: 150, InstrPerSec: 800}}
+	if diffEntries(&out, hist, fresh, 0.10) {
+		t.Fatal("20%% instr/s drop must fail at 10%% tolerance")
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("missing REGRESSION marker:\n%s", out.String())
+	}
+	out.Reset()
+	fresh[0].InstrPerSec = 950
+	if !diffEntries(&out, hist, fresh, 0.10) {
+		t.Fatalf("5%%%% drop within tolerance flagged:\n%s", out.String())
+	}
+}

@@ -11,7 +11,9 @@
 // anything else → JSONL); -interval N samples the metrics timeline
 // every N cycles into -metrics-out (.csv → CSV, else JSONL); -json
 // emits the full result as one JSON object on stdout; -cpuprofile /
-// -memprofile write stdlib runtime/pprof profiles.
+// -memprofile write stdlib runtime/pprof profiles; -audit runs the
+// simulation under the differential audit harness (reference cache
+// models and IPCP oracles in lockstep) and exits 2 on any violation.
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 		interval   = flag.Int64("interval", 0, "sample interval metrics every N cycles (0 = off)")
 		metricsOut = flag.String("metrics-out", "", "write the interval timeline to this file (.csv → CSV, else JSONL; default stdout)")
 		jsonOut    = flag.Bool("json", false, "emit the full result as one JSON object on stdout")
+		auditRun   = flag.Bool("audit", false, "attach the differential audit harness (slow); exit 2 on any violation")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -93,6 +96,9 @@ func main() {
 	if *interval > 0 || *metricsOut != "" {
 		rc.Intervals = ipcp.NewIntervalLog(*interval)
 	}
+	if *auditRun {
+		rc.Audit = ipcp.NewAuditChecker()
+	}
 
 	// SIGINT/SIGTERM cancel the run cooperatively; telemetry collected up
 	// to the interruption is still flushed below before exiting 130.
@@ -136,6 +142,14 @@ func main() {
 		}
 	} else {
 		report(res)
+	}
+
+	if *auditRun {
+		if err := rc.Audit.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "ipcpsim: audit:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "ipcpsim: audit clean (reference models and invariants agree)")
 	}
 
 	if *memprofile != "" {

@@ -1,0 +1,228 @@
+// Package audit is the correctness harness for the optimized simulator
+// core: slow-but-obviously-correct reference models that shadow the
+// production data structures at runtime and cross-check every
+// architectural decision against the paper's specification.
+//
+// It has three layers:
+//
+//   - A functional cache model (shadow.go) mirrors every cache's line
+//     array from the Auditor event stream and verifies hit/miss
+//     outcomes, LRU victim choice, dirty/prefetched bookkeeping, and
+//     the stats counters.
+//   - Straight-from-the-paper IPCP oracles (oracle_l1.go, oracle_l2.go)
+//     run in lockstep with the attached prefetchers and verify the
+//     issued candidate stream — address, class, metadata, order — plus
+//     throttle degrees, accuracy windows, and the NL gate.
+//   - Inline invariant checks (recorder.go, the request-pool audit
+//     mode) assert the paper's hard rules on every candidate: no
+//     prefetch crosses a page boundary (§IV), per-class issue counts
+//     never exceed the class's degree ceiling (§V), the RR filter is
+//     never bypassed, and requests are never double-freed.
+//
+// A Checker attaches through sim.Config.Audit. Like -race it is opt-in
+// and heavy; a nil Audit config leaves every hot path untouched.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"ipcp/internal/cache"
+	"ipcp/internal/core"
+	"ipcp/internal/memsys"
+	"ipcp/internal/prefetch"
+	"ipcp/internal/sim"
+)
+
+// intervalShift buckets cycle-stamped events into 4096-cycle intervals
+// for the differential runner's per-interval miss comparison.
+const intervalShift = 12
+
+// Violation is one detected deviation from the reference models or the
+// paper's invariants.
+type Violation struct {
+	Cycle  int64  // simulated cycle of detection (0 when end-of-run)
+	Where  string // component, e.g. "L1D.0", "L2.0:oracle", "pool"
+	Kind   string // short invariant identifier, e.g. "page-cross"
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d %s [%s]: %s", v.Cycle, v.Where, v.Kind, v.Detail)
+}
+
+// Options tunes a Checker.
+type Options struct {
+	// RecordStreams retains the full prefetch issue streams and the
+	// per-interval miss buckets so two runs can be diffed (the
+	// differential runner sets it; the inline -audit mode does not, to
+	// bound memory).
+	RecordStreams bool
+	// MaxViolations caps retained violations (default 64); further ones
+	// are counted in Dropped.
+	MaxViolations int
+}
+
+// Checker wires the audit reference models into one sim.System. Use one
+// Checker per system; it is not safe to share.
+type Checker struct {
+	opt Options
+
+	sys       *sim.System
+	pool      *memsys.RequestPool
+	shadows   []*shadowCache
+	recorders []*recorder
+
+	violations []Violation
+	dropped    int
+	finished   bool
+}
+
+// New returns a Checker with default options (inline invariants and
+// reference models, no stream recording).
+func New() *Checker { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns a configured Checker.
+func NewWithOptions(opt Options) *Checker {
+	if opt.MaxViolations <= 0 {
+		opt.MaxViolations = 64
+	}
+	return &Checker{opt: opt}
+}
+
+// Attach implements sim.Auditor: Build calls it once the system is
+// fully wired. It shadows every cache, wraps every attached prefetcher
+// in a lockstep recorder, and switches the request pool into audit
+// mode.
+func (k *Checker) Attach(sys *sim.System) {
+	k.sys = sys
+	k.pool = sys.RequestPool()
+	k.pool.EnableAudit(func(detail string) {
+		k.report(Violation{Where: "pool", Kind: "request-double-free", Detail: detail})
+	})
+	for i := 0; i < sys.Cores(); i++ {
+		k.watchCache(sys.L1D(i), fmt.Sprintf("L1D.%d", i))
+		k.watchCache(sys.L1I(i), fmt.Sprintf("L1I.%d", i))
+		k.watchCache(sys.L2(i), fmt.Sprintf("L2.%d", i))
+	}
+	k.watchCache(sys.LLC(), "LLC")
+}
+
+func (k *Checker) watchCache(c *cache.Cache, name string) {
+	sh := newShadowCache(k, c, name)
+	k.shadows = append(k.shadows, sh)
+	c.SetAuditor(sh)
+
+	pf := c.Prefetcher()
+	if _, isNil := pf.(prefetch.Nil); isNil {
+		return
+	}
+	rec := newRecorder(k, pf, name)
+	k.recorders = append(k.recorders, rec)
+	c.SetPrefetcher(rec)
+}
+
+// report records one violation, bounded by MaxViolations.
+func (k *Checker) report(v Violation) {
+	if len(k.violations) < k.opt.MaxViolations {
+		k.violations = append(k.violations, v)
+	} else {
+		k.dropped++
+	}
+}
+
+// Finish runs the end-of-run cross-checks (stats totals against the
+// shadow models, oracle counters against the production prefetchers)
+// and returns every violation collected. Idempotent.
+func (k *Checker) Finish() []Violation {
+	if !k.finished {
+		k.finished = true
+		for _, sh := range k.shadows {
+			sh.finish()
+		}
+		for _, r := range k.recorders {
+			r.finish()
+		}
+	}
+	return k.violations
+}
+
+// Violations returns what has been collected so far without running the
+// end-of-run checks.
+func (k *Checker) Violations() []Violation { return k.violations }
+
+// Dropped reports violations discarded beyond MaxViolations.
+func (k *Checker) Dropped() int { return k.dropped }
+
+// Err summarizes the (finished) checker as a single error, nil when the
+// run was clean.
+func (k *Checker) Err() error {
+	vs := k.Finish()
+	if len(vs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d violation(s)", len(vs)+k.dropped)
+	n := len(vs)
+	if n > 8 {
+		n = 8
+	}
+	for _, v := range vs[:n] {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if len(vs)+k.dropped > n {
+		fmt.Fprintf(&b, "\n  ... and %d more", len(vs)+k.dropped-n)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// issueRec is one accepted prefetch candidate in a recorded stream.
+type issueRec struct {
+	Cycle int64
+	Addr  memsys.Addr
+	Class memsys.PrefetchClass
+	Meta  uint16
+}
+
+// Streams returns the recorded per-prefetcher issue streams (accepted
+// candidates in issue order). Empty unless Options.RecordStreams.
+func (k *Checker) Streams() map[string][]issueRec {
+	out := make(map[string][]issueRec, len(k.recorders))
+	for _, r := range k.recorders {
+		out[r.name] = r.stream
+	}
+	return out
+}
+
+// MissIntervals returns, per cache, the demand-miss count bucketed by
+// 4096-cycle interval. Empty unless Options.RecordStreams.
+func (k *Checker) MissIntervals() map[string]map[int64]uint64 {
+	out := make(map[string]map[int64]uint64, len(k.shadows))
+	for _, sh := range k.shadows {
+		out[sh.name] = sh.missBuckets
+	}
+	return out
+}
+
+// ipcpCeilings returns the per-class per-Operate accepted-candidate
+// ceilings for an IPCP prefetcher, zero for unbounded classes.
+func ipcpCeilings(p prefetch.Prefetcher) ([memsys.NumClasses]int, bool) {
+	var ceil [memsys.NumClasses]int
+	switch t := p.(type) {
+	case *core.L1IPCP:
+		cfg := t.Config()
+		ceil[memsys.ClassCS] = cfg.DegreeCS
+		ceil[memsys.ClassCPLX] = cfg.DegreeCPLX
+		ceil[memsys.ClassGS] = cfg.DegreeGS
+		ceil[memsys.ClassNL] = 1
+		return ceil, true
+	case *core.L2IPCP:
+		cfg := t.Config()
+		ceil[memsys.ClassCS] = cfg.DegreeCS
+		ceil[memsys.ClassGS] = cfg.DegreeGS
+		ceil[memsys.ClassNL] = 1
+		return ceil, true
+	}
+	return ceil, false
+}

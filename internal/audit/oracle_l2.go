@@ -1,0 +1,142 @@
+package audit
+
+import (
+	"fmt"
+
+	"ipcp/internal/core"
+	"ipcp/internal/memsys"
+	"ipcp/internal/prefetch"
+)
+
+// l2Oracle is the reference model of the paper's L2 IPCP (§V,
+// Multilevel Holistic IPCP; Fig. 6): a bookkeeping prefetcher that
+// never trains on the jumbled L2 stream, only decodes the 9-bit
+// metadata arriving with L1 prefetches and replays deep per-class runs
+// on demand hits of known IPs. CPLX is deliberately absent at this
+// level.
+type l2Oracle struct {
+	impl *core.L2IPCP
+	cfg  core.L2Config
+
+	table []oraL2Entry
+
+	missCounter uint64
+	cycleMark   int64
+	nlOn        bool
+
+	issued [memsys.NumClasses]uint64
+}
+
+type oraL2Entry struct {
+	tag    uint64
+	valid  bool
+	class  memsys.PrefetchClass
+	stride int8
+}
+
+func newL2Oracle(impl *core.L2IPCP) *l2Oracle {
+	cfg := impl.Config()
+	return &l2Oracle{
+		impl:  impl,
+		cfg:   cfg,
+		table: make([]oraL2Entry, cfg.IPTableEntries),
+		nlOn:  true,
+	}
+}
+
+// Operate regenerates the L2 decision for one access.
+func (o *l2Oracle) Operate(now int64, a *prefetch.Access, m *opMatcher) {
+	idx := (a.IP >> 2) % uint64(len(o.table))
+	tag := (a.IP >> 2) / uint64(len(o.table)) & 0x1ff
+
+	if a.Type == memsys.Prefetch {
+		if a.Meta != 0 {
+			md := memsys.DecodeMetadata(a.Meta)
+			o.table[idx] = oraL2Entry{tag: tag, valid: true, class: md.Class, stride: md.Stride}
+			o.run(m, a.Addr, md.Class, md.Stride)
+		}
+		return
+	}
+	if !a.Type.IsDemand() || a.Type == memsys.CodeRead {
+		return
+	}
+	if !a.Hit {
+		o.missCounter++
+	}
+	e := o.table[idx]
+	if e.valid && e.tag == tag {
+		o.run(m, a.Addr, e.class, e.stride)
+	}
+}
+
+// run issues one class's deep run: degree prefetches spaced stride
+// blocks apart, stopping at the page boundary.
+func (o *l2Oracle) run(m *opMatcher, addr memsys.Addr, cls memsys.PrefetchClass, stride int8) {
+	var step int64
+	var degree int
+	switch cls {
+	case memsys.ClassCS:
+		if stride == 0 {
+			return
+		}
+		step, degree = int64(stride), o.cfg.DegreeCS
+	case memsys.ClassGS:
+		step, degree = int64(stride), o.cfg.DegreeGS
+		if step == 0 {
+			step = 1
+		}
+	case memsys.ClassNL:
+		if !o.nlOn {
+			return
+		}
+		step, degree = 1, 1
+	default:
+		return
+	}
+	for k := int64(1); k <= int64(degree); k++ {
+		cand := memsys.Addr(int64(memsys.BlockNumber(addr))+step*k) << memsys.BlockBits
+		if !memsys.SamePage(addr, cand) {
+			return
+		}
+		if m.expect(cand, 0, cls, 0) {
+			o.issued[cls]++
+		}
+	}
+}
+
+// Fill is a no-op: the L2 IPCP has no fill-driven state.
+func (o *l2Oracle) Fill(int64, *prefetch.FillEvent) {}
+
+// Cycle mirrors the L2 MPKC epoch for tentative NL.
+func (o *l2Oracle) Cycle(now int64) {
+	const epoch = 4096
+	if now-o.cycleMark < epoch {
+		return
+	}
+	mpkc := float64(o.missCounter) * 1000 / float64(now-o.cycleMark)
+	o.nlOn = mpkc < o.cfg.NLThresholdMPKC
+	o.missCounter = 0
+	o.cycleMark = now
+}
+
+// ResetStats mirrors the warmup-boundary counter reset.
+func (o *l2Oracle) ResetStats() {
+	o.issued = [memsys.NumClasses]uint64{}
+}
+
+// postFill has nothing to check: the L2 IPCP does not throttle.
+func (o *l2Oracle) postFill(func(kind, detail string)) {}
+
+// postCycle cross-checks the NL gate.
+func (o *l2Oracle) postCycle(rep func(kind, detail string)) {
+	if got := o.impl.NLEnabled(); got != o.nlOn {
+		rep("nl-gate", fmt.Sprintf("NL gate %v, reference %v", got, o.nlOn))
+	}
+}
+
+// finishChecks compares the cumulative issue counters.
+func (o *l2Oracle) finishChecks(rep func(kind, detail string)) {
+	if o.impl.Issued != o.issued {
+		rep("counter-issued", fmt.Sprintf("implementation %v, reference %v", o.impl.Issued, o.issued))
+	}
+}

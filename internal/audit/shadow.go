@@ -1,0 +1,251 @@
+package audit
+
+import (
+	"fmt"
+
+	"ipcp/internal/cache"
+	"ipcp/internal/memsys"
+)
+
+// shadowLine is one block in the functional reference cache.
+type shadowLine struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool
+	class      memsys.PrefetchClass
+	stamp      uint64 // true-LRU timestamp, mirroring repl's lru policy
+}
+
+// shadowCache is the functional reference model of one production
+// cache: a plain set-associative line array driven by the cache's
+// Auditor event stream. It independently re-derives residency, the
+// true-LRU victim, and the dirty/prefetched bookkeeping, and verifies
+// every event against them; at end of run the mirrored access counters
+// are compared against the cache's Stats.
+//
+// The shadow deliberately has no notion of queues, MSHRs or latency:
+// those affect *when* events happen, which the production cache
+// decides; the shadow checks that *given* that schedule the
+// architectural state evolves correctly.
+type shadowCache struct {
+	k    *Checker
+	c    *cache.Cache
+	name string
+
+	sets, ways int
+	setsMask   uint64
+	lines      []shadowLine
+	tick       uint64
+
+	// lruExact enables victim-way prediction; only the default true-LRU
+	// policy is modeled exactly. Other policies still get residency,
+	// bookkeeping and counter checks.
+	lruExact bool
+
+	access, hit, miss [5]uint64
+
+	// missBuckets counts demand misses per 4096-cycle interval for the
+	// differential runner (Options.RecordStreams only).
+	missBuckets map[int64]uint64
+}
+
+func newShadowCache(k *Checker, c *cache.Cache, name string) *shadowCache {
+	cfg := c.Config()
+	sh := &shadowCache{
+		k: k, c: c, name: name,
+		sets: cfg.Sets, ways: cfg.Ways,
+		setsMask: uint64(cfg.Sets - 1),
+		lines:    make([]shadowLine, cfg.Sets*cfg.Ways),
+		lruExact: cfg.Repl == "" || cfg.Repl == "lru",
+	}
+	if k.opt.RecordStreams {
+		sh.missBuckets = make(map[int64]uint64)
+	}
+	return sh
+}
+
+func (sh *shadowCache) vio(now int64, kind, detail string) {
+	sh.k.report(Violation{Cycle: now, Where: sh.name, Kind: kind, Detail: detail})
+}
+
+// find returns the shadow way holding block, or -1.
+func (sh *shadowCache) find(block uint64) (base, way int) {
+	base = int(block&sh.setsMask) * sh.ways
+	for w := 0; w < sh.ways; w++ {
+		if l := &sh.lines[base+w]; l.valid && l.tag == block {
+			return base, w
+		}
+	}
+	return base, -1
+}
+
+// OnAccess implements cache.Auditor.
+func (sh *shadowCache) OnAccess(now int64, addr memsys.Addr, typ memsys.AccessType, hit, hitPrefetched bool, hitClass memsys.PrefetchClass) {
+	sh.access[typ]++
+	if hit {
+		sh.hit[typ]++
+	} else {
+		sh.miss[typ]++
+		if typ.IsDemand() && sh.missBuckets != nil {
+			sh.missBuckets[now>>intervalShift]++
+		}
+	}
+
+	block := memsys.BlockNumber(addr)
+	base, way := sh.find(block)
+
+	if typ == memsys.Writeback {
+		// A writeback miss is write-allocate: the install event precedes
+		// this one (see the Auditor ordering caveat), so the block is
+		// resident either way and only the hit path mutates state here.
+		if hit {
+			if way < 0 {
+				sh.vio(now, "wb-hit-not-resident",
+					fmt.Sprintf("writeback hit on %#x, block absent from reference model", addr))
+				return
+			}
+			l := &sh.lines[base+way]
+			l.dirty = true
+			sh.tick++
+			l.stamp = sh.tick
+		}
+		return
+	}
+
+	resident := way >= 0
+	if resident != hit {
+		sh.vio(now, "hit-mismatch",
+			fmt.Sprintf("%v of %#x reported hit=%v, reference model resident=%v", typ, addr, hit, resident))
+		return
+	}
+	if !hit {
+		return
+	}
+
+	l := &sh.lines[base+way]
+	wantPf := l.prefetched && typ.IsDemand()
+	if hitPrefetched != wantPf {
+		sh.vio(now, "prefetched-bit",
+			fmt.Sprintf("%v hit on %#x reported hitPrefetched=%v, reference %v", typ, addr, hitPrefetched, wantPf))
+	} else if wantPf && hitClass != l.class {
+		sh.vio(now, "class-bits",
+			fmt.Sprintf("%v hit on %#x reported class %v, reference %v", typ, addr, hitClass, l.class))
+	}
+	if wantPf {
+		l.prefetched = false // first demand touch consumes the tag
+	}
+	sh.tick++
+	l.stamp = sh.tick
+	if typ == memsys.RFO {
+		l.dirty = true
+	}
+}
+
+// OnInstall implements cache.Auditor.
+func (sh *shadowCache) OnInstall(now int64, addr memsys.Addr, typ memsys.AccessType, prefetched bool, class memsys.PrefetchClass,
+	victim memsys.Addr, victimValid, victimDirty, victimPrefetched bool) {
+	block := memsys.BlockNumber(addr)
+	base, way := sh.find(block)
+	if way >= 0 {
+		sh.vio(now, "double-install",
+			fmt.Sprintf("install of %#x, block already resident in reference model", addr))
+		return
+	}
+
+	// Free way first, in scan order, exactly as the production install.
+	free := -1
+	for w := 0; w < sh.ways; w++ {
+		if !sh.lines[base+w].valid {
+			free = w
+			break
+		}
+	}
+	switch {
+	case free >= 0 && victimValid:
+		sh.vio(now, "victim-with-free-way",
+			fmt.Sprintf("install of %#x evicted %#x although the reference set has a free way", addr, victim))
+	case free < 0 && !victimValid:
+		sh.vio(now, "missing-victim",
+			fmt.Sprintf("install of %#x evicted nothing although the reference set is full", addr))
+	}
+
+	way = free
+	if way < 0 {
+		// Full set: check the eviction against the reference model.
+		if sh.lruExact {
+			// True LRU: minimum stamp, ties to the lowest way.
+			pred, best := 0, sh.lines[base].stamp
+			for w := 1; w < sh.ways; w++ {
+				if s := sh.lines[base+w].stamp; s < best {
+					pred, best = w, s
+				}
+			}
+			way = pred
+			if victimValid && sh.lines[base+way].valid && sh.lines[base+way].tag<<memsys.BlockBits != victim {
+				sh.vio(now, "lru-victim",
+					fmt.Sprintf("install of %#x evicted %#x, reference LRU victim is %#x",
+						addr, victim, sh.lines[base+way].tag<<memsys.BlockBits))
+			}
+		} else {
+			// Non-LRU policy: follow the production choice, but it must
+			// at least name a resident block.
+			way = -1
+			for w := 0; w < sh.ways; w++ {
+				if l := &sh.lines[base+w]; l.valid && l.tag == memsys.BlockNumber(victim) {
+					way = w
+					break
+				}
+			}
+			if way < 0 {
+				sh.vio(now, "victim-not-resident",
+					fmt.Sprintf("install of %#x evicted %#x, which the reference model does not hold", addr, victim))
+				return
+			}
+		}
+		if victimValid {
+			l := &sh.lines[base+way]
+			if l.dirty != victimDirty {
+				sh.vio(now, "victim-dirty-bit",
+					fmt.Sprintf("victim %#x reported dirty=%v, reference %v", victim, victimDirty, l.dirty))
+			}
+			if l.prefetched != victimPrefetched {
+				sh.vio(now, "victim-prefetched-bit",
+					fmt.Sprintf("victim %#x reported unused-prefetch=%v, reference %v", victim, victimPrefetched, l.prefetched))
+			}
+		}
+	}
+
+	sh.tick++
+	sh.lines[base+way] = shadowLine{
+		tag:        block,
+		valid:      true,
+		dirty:      typ == memsys.RFO || typ == memsys.Writeback,
+		prefetched: prefetched,
+		class:      class,
+		stamp:      sh.tick,
+	}
+}
+
+// OnResetStats implements cache.Auditor: the warmup boundary zeroes the
+// counters; residency and LRU state are architectural and persist.
+func (sh *shadowCache) OnResetStats() {
+	sh.access = [5]uint64{}
+	sh.hit = [5]uint64{}
+	sh.miss = [5]uint64{}
+	if sh.missBuckets != nil {
+		sh.missBuckets = make(map[int64]uint64)
+	}
+}
+
+// finish compares the mirrored access counters with the cache's Stats.
+func (sh *shadowCache) finish() {
+	st := &sh.c.Stats
+	if st.Access != sh.access || st.Hit != sh.hit || st.Miss != sh.miss {
+		sh.k.report(Violation{
+			Where: sh.name, Kind: "stats-totals",
+			Detail: fmt.Sprintf("cache access/hit/miss %v/%v/%v, reference %v/%v/%v",
+				st.Access, st.Hit, st.Miss, sh.access, sh.hit, sh.miss),
+		})
+	}
+}

@@ -108,6 +108,23 @@ func (s *Stats) Accuracy() float64 {
 // allocating pages; ok=false drops the candidate.
 type Translator func(v memsys.Addr) (memsys.Addr, bool)
 
+// Auditor observes the cache's architectural events so an external
+// reference model (internal/audit) can shadow the line array and cross-
+// check hits, victims and bookkeeping. Every hook fires next to the
+// corresponding Stats update; nil (the default) costs one predictable
+// branch per site. OnAccess fires once per serviced request — never for
+// a request parked at its queue head (MSHR full) or a pass-through
+// prefetch drop, which touch no stats or replacement state either.
+// Ordering caveat: a write-allocate miss installs the block before it is
+// counted, so for Writeback accesses the OnInstall event precedes the
+// OnAccess event of the same request.
+type Auditor interface {
+	OnAccess(now int64, addr memsys.Addr, typ memsys.AccessType, hit, hitPrefetched bool, hitClass memsys.PrefetchClass)
+	OnInstall(now int64, addr memsys.Addr, typ memsys.AccessType, prefetched bool, class memsys.PrefetchClass,
+		victim memsys.Addr, victimValid, victimDirty, victimPrefetched bool)
+	OnResetStats()
+}
+
 // Cache is one level of the hierarchy.
 type Cache struct {
 	cfg   Config
@@ -157,6 +174,9 @@ type Cache struct {
 	// events with the owning core (-1 for the shared LLC).
 	tr     *telemetry.Tracer
 	trCore int
+
+	// aud is the optional architectural auditor (nil = auditing off).
+	aud Auditor
 
 	Stats Stats
 }
@@ -232,8 +252,16 @@ func (c *Cache) SetTracer(tr *telemetry.Tracer, core int) {
 	c.trCore = core
 }
 
+// SetAuditor attaches an architectural auditor (nil detaches).
+func (c *Cache) SetAuditor(a Auditor) { c.aud = a }
+
 // ResetStats zeroes the counters (end of warmup).
-func (c *Cache) ResetStats() { c.Stats = Stats{} }
+func (c *Cache) ResetStats() {
+	c.Stats = Stats{}
+	if c.aud != nil {
+		c.aud.OnResetStats()
+	}
+}
 
 // --- memsys.Sink ------------------------------------------------------
 
@@ -444,6 +472,9 @@ func (c *Cache) service(now int64, r *memsys.Request, fromPQ bool) bool {
 		if r.Type == memsys.RFO {
 			line.Dirty = true
 		}
+		if c.aud != nil {
+			c.aud.OnAccess(now, r.Addr, r.Type, true, hitPrefetched, hitClass)
+		}
 		if external {
 			c.operatePrefetcher(now, r, true, hitPrefetched, hitClass)
 		}
@@ -458,6 +489,9 @@ func (c *Cache) service(now int64, r *memsys.Request, fromPQ bool) bool {
 	// Miss. Merge into an outstanding entry if one exists.
 	if e := c.mshr.find(block); e != nil {
 		c.count(r.Type, false)
+		if c.aud != nil {
+			c.aud.OnAccess(now, r.Addr, r.Type, false, false, memsys.ClassNone)
+		}
 		c.Stats.MSHRMerges++
 		e.waiters = append(e.waiters, r)
 		if r.Type.IsDemand() {
@@ -486,6 +520,9 @@ func (c *Cache) service(now int64, r *memsys.Request, fromPQ bool) bool {
 	}
 
 	c.count(r.Type, false)
+	if c.aud != nil {
+		c.aud.OnAccess(now, r.Addr, r.Type, false, false, memsys.ClassNone)
+	}
 	fl := r.FillLevel
 	if fl == 0 {
 		fl = c.cfg.Level
@@ -708,9 +745,11 @@ func (c *Cache) install(now int64, req *memsys.Request, prefetched bool, class m
 	}
 	var evicted memsys.Addr
 	evictedUnused := false
+	victimValid, victimDirty := false, false
 	if way < 0 {
 		way = c.pol.Victim(set, req)
 		victim := &c.lines[base+way]
+		victimValid, victimDirty = true, victim.Dirty
 		if victim.Dirty {
 			wb := c.pool.Get()
 			*wb = memsys.Request{
@@ -739,6 +778,10 @@ func (c *Cache) install(now int64, req *memsys.Request, prefetched bool, class m
 		Class:      class,
 	}
 	c.pol.Fill(set, way, req)
+	if c.aud != nil {
+		c.aud.OnInstall(now, req.Addr, req.Type, prefetched, class,
+			evicted, victimValid, victimDirty, evictedUnused)
+	}
 	if !c.pfNil {
 		c.fillEv = prefetch.FillEvent{
 			Addr:                  memsys.BlockAlign(req.Addr),
@@ -765,6 +808,9 @@ func (c *Cache) handleWrite(now int64, r *memsys.Request) bool {
 		line := &c.lines[set*c.cfg.Ways+way]
 		line.Dirty = true
 		c.pol.Hit(set, way, r)
+		if c.aud != nil {
+			c.aud.OnAccess(now, r.Addr, memsys.Writeback, true, false, memsys.ClassNone)
+		}
 		c.pool.Put(r)
 		return true
 	}
@@ -772,6 +818,9 @@ func (c *Cache) handleWrite(now int64, r *memsys.Request) bool {
 		return false
 	}
 	c.count(memsys.Writeback, false)
+	if c.aud != nil {
+		c.aud.OnAccess(now, r.Addr, memsys.Writeback, false, false, memsys.ClassNone)
+	}
 	c.pool.Put(r)
 	return true
 }

@@ -186,6 +186,21 @@ func NewL1IPCP(cfg L1Config) *L1IPCP {
 	if cfg.IPTableEntries <= 0 {
 		cfg = DefaultL1Config()
 	}
+	// The CSPT is indexed by the SignatureBits-wide signature, so its
+	// size IS 1<<SignatureBits — a mismatched configuration would either
+	// silently alias distinct signatures (table too small) or leave
+	// entries unreachable (table too large). Reconcile the size from the
+	// signature width, the parameter that defines the CPLX history
+	// depth (paper Table I: 7 bits ↔ 128 entries).
+	if cfg.SignatureBits < 1 {
+		cfg.SignatureBits = 1
+	}
+	if cfg.SignatureBits > 16 {
+		cfg.SignatureBits = 16
+	}
+	if cfg.CSPTEntries != 1<<cfg.SignatureBits {
+		cfg.CSPTEntries = 1 << cfg.SignatureBits
+	}
 	p := &L1IPCP{
 		cfg:     cfg,
 		ipTable: make([]ipEntry, cfg.IPTableEntries),
@@ -203,6 +218,15 @@ func NewL1IPCP(cfg L1Config) *L1IPCP {
 
 // Name implements prefetch.Prefetcher.
 func (p *L1IPCP) Name() string { return "ipcp" }
+
+// Config returns the effective configuration (after construction-time
+// reconciliation of the CSPT size) — the audit oracle builds its
+// reference model from it.
+func (p *L1IPCP) Config() L1Config { return p.cfg }
+
+// TemporalEnabled reports whether the optional temporal extension is
+// attached (the audit oracle models only the paper's spatial classes).
+func (p *L1IPCP) TemporalEnabled() bool { return p.temporal != nil }
 
 func (p *L1IPCP) regionOf(v memsys.Addr) (region uint64, line int) {
 	region = uint64(v) >> p.cfg.RegionBits
@@ -306,7 +330,7 @@ func (p *L1IPCP) Operate(now int64, a *prefetch.Access, iss prefetch.Issuer) {
 	var oldSig uint16
 	if stride != 0 {
 		oldSig = e.signature
-		c := &p.cspt[oldSig%uint16(len(p.cspt))]
+		c := &p.cspt[oldSig&p.sigMask()]
 		if c.stride == stride {
 			if c.confidence < 3 {
 				c.confidence++
@@ -514,7 +538,7 @@ func (p *L1IPCP) eligible(cls memsys.PrefetchClass, e *ipEntry) bool {
 		if !p.cfg.EnableCPLX {
 			return false
 		}
-		c := p.cspt[e.signature%uint16(len(p.cspt))]
+		c := p.cspt[e.signature&p.sigMask()]
 		return c.confidence >= 1 && c.stride != 0
 	case memsys.ClassNL:
 		return p.cfg.EnableNL && p.nlOn
@@ -545,7 +569,7 @@ func (p *L1IPCP) issueClass(cls memsys.PrefetchClass, e *ipEntry, ip, v memsys.A
 		off := int64(0)
 		issued, skipped := 0, 0
 		for step := 0; step < (deg+p.cfg.CPLXDistance)*2 && issued < deg; step++ {
-			c := p.cspt[sig%uint16(len(p.cspt))]
+			c := p.cspt[sig&p.sigMask()]
 			if c.stride == 0 {
 				break
 			}

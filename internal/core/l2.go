@@ -71,6 +71,10 @@ func NewL2IPCP(cfg L2Config) *L2IPCP {
 // Name implements prefetch.Prefetcher.
 func (p *L2IPCP) Name() string { return "ipcp-l2" }
 
+// Config returns the effective configuration (the audit oracle builds
+// its reference model from it).
+func (p *L2IPCP) Config() L2Config { return p.cfg }
+
 // Operate implements prefetch.Prefetcher.
 func (p *L2IPCP) Operate(now int64, a *prefetch.Access, iss prefetch.Issuer) {
 	idx := (a.IP >> 2) % uint64(len(p.table))

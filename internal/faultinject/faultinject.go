@@ -1,7 +1,7 @@
 // Package faultinject provides test-only fault injectors for the
 // robustness suite: instruction streams that panic or die mid-run,
 // prefetchers that panic or issue runaway prefetch floods, and byte
-//-level trace corrupters. Production code never imports this package;
+// -level trace corrupters. Production code never imports this package;
 // it exists so the harness's survival guarantees (panic isolation,
 // guard trips, corrupt-trace rejection) are provable by tests instead
 // of asserted in prose.

@@ -247,13 +247,21 @@ func (gi *guardIssuer) Issue(c Candidate) bool {
 	return gi.inner.Issue(c)
 }
 
-// Unwrapped returns p with any Guard layers removed.
+// Wrapper is implemented by pass-through prefetcher layers (the Guard,
+// the audit recorder) so introspection can reach the real prefetcher
+// underneath regardless of how many layers are stacked.
+type Wrapper interface {
+	Unwrap() Prefetcher
+}
+
+// Unwrapped returns p with any wrapper layers (Guard, audit recorder,
+// ...) removed.
 func Unwrapped(p Prefetcher) Prefetcher {
 	for {
-		g, ok := p.(*Guard)
+		w, ok := p.(Wrapper)
 		if !ok {
 			return p
 		}
-		p = g.inner
+		p = w.Unwrap()
 	}
 }

@@ -80,6 +80,22 @@ type Config struct {
 	// them to that); the reference mode exists for that comparison and
 	// for debugging the scheduler itself.
 	DisableFastForward bool
+
+	// Audit, when non-nil, is attached to the freshly built system and
+	// installs the runtime reference models and invariant checks of
+	// internal/audit (in the spirit of -race: heavy, exact, opt-in).
+	// Nil — the default — leaves every hot path on its allocation-free
+	// fast paths.
+	Audit Auditor
+}
+
+// Auditor is the hook Config.Audit plugs into Build: once the system is
+// fully wired (prefetchers guarded, request pool shared), Attach may
+// wrap prefetchers, attach cache auditors, and enable request-pool
+// auditing. Implemented by internal/audit.Checker; defined here so sim
+// does not import the audit machinery it hosts.
+type Auditor interface {
+	Attach(sys *System)
 }
 
 // PaperConfig returns the simulated system of the paper's Table II for

@@ -1,0 +1,32 @@
+//go:build !race
+
+package sim
+
+import "testing"
+
+// TestSteadyStateZeroAllocsAfterGuardTrip asserts the allocation-free
+// steady state survives a guard trip: the disabled-prefetcher path must
+// not fall off the recycling fast path. Excluded under -race because
+// the race runtime adds bookkeeping allocations of its own.
+func TestSteadyStateZeroAllocsAfterGuardTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warmup is slow")
+	}
+	sys := buildTripSystem(t, 300)
+	// Run past the trip and through the growth phase of the pools,
+	// rings, and page tables (mirrors BenchmarkSimulatorThroughputSteady).
+	if err := sys.Advance(60_000); err != nil {
+		t.Fatal(err)
+	}
+	if f := sys.PrefetcherFaults(); len(f) != 1 {
+		t.Fatalf("expected the guard to have tripped during warmup, got %+v", f)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if err := sys.Advance(5_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.5 {
+		t.Fatalf("steady state after guard trip allocates %.1f times per 5k instructions; want 0", avg)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ipcp/internal/core"
+	"ipcp/internal/prefetch"
+)
+
+// panicAfter forwards to a real prefetcher until the Nth Operate call,
+// then panics: the guard trips with that prefetcher's requests still in
+// flight through the MSHRs, queues, and DRAM — the scenario the pool
+// ownership protocol must survive.
+type panicAfter struct {
+	inner prefetch.Prefetcher
+	at    uint64
+	calls uint64
+}
+
+func (p *panicAfter) Name() string                { return p.inner.Name() }
+func (p *panicAfter) Unwrap() prefetch.Prefetcher { return p.inner }
+func (p *panicAfter) Operate(now int64, a *prefetch.Access, iss prefetch.Issuer) {
+	p.calls++
+	if p.calls == p.at {
+		panic("panicAfter: injected fault with prefetches in flight")
+	}
+	p.inner.Operate(now, a, iss)
+}
+func (p *panicAfter) Fill(now int64, f *prefetch.FillEvent) { p.inner.Fill(now, f) }
+func (p *panicAfter) Cycle(now int64)                       { p.inner.Cycle(now) }
+
+// buildTripSystem returns a single-core system whose L1-D prefetcher is
+// a real IPCP that panics (and trips its guard) on the atth Operate.
+func buildTripSystem(t *testing.T, at uint64) *System {
+	t.Helper()
+	cfg := PaperConfig(1)
+	cfg.L1DPrefetcher = PrefetcherSpec{New: func() (prefetch.Prefetcher, error) {
+		return &panicAfter{inner: core.NewL1IPCP(core.DefaultL1Config()), at: at}, nil
+	}}
+	cfg.L2Prefetcher = PrefetcherSpec{Name: "ipcp"}
+	sys, err := Build(cfg, streamsFor(t, []string{"lbm-94"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestGuardTripPoolOwnership trips the L1-D guard mid-run, with IPCP
+// prefetches in flight, under the request pool's audit mode: every
+// in-flight prefetch must still be recycled exactly once (no double
+// free, no leak) even though the prefetcher that caused it is gone.
+func TestGuardTripPoolOwnership(t *testing.T) {
+	sys := buildTripSystem(t, 500)
+
+	var doubles []string
+	sys.RequestPool().EnableAudit(func(detail string) {
+		doubles = append(doubles, detail)
+	})
+
+	res, err := sys.Run(2_000, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PrefetcherFaults) != 1 {
+		t.Fatalf("expected exactly one guard trip, got %+v", res.PrefetcherFaults)
+	}
+	if f := res.PrefetcherFaults[0]; f.Level != "L1D" || !strings.Contains(f.Reason, "panic") {
+		t.Fatalf("trip not attributed to the L1-D panic: %+v", f)
+	}
+	for _, d := range doubles {
+		t.Errorf("request pool double free: %s", d)
+	}
+	// Everything still in flight at simulation end is bounded by the
+	// finite queue/MSHR capacities; a leak across the trip would scale
+	// with the post-trip instruction count instead.
+	if out := sys.RequestPool().Outstanding(); out < 0 || out > 1024 {
+		t.Fatalf("outstanding request balance %d after guard trip; pool ownership broken", out)
+	}
+	if sys.RequestPool().Len() == 0 {
+		t.Fatal("free list empty at end of run: requests were not recycled after the trip")
+	}
+}
+
+// TestGuardTripThenDrainStable keeps simulating long after the trip and
+// checks the live-request balance stays flat: the post-trip system must
+// reach the same recycle-everything steady state as an unprefetched one.
+func TestGuardTripThenDrainStable(t *testing.T) {
+	sys := buildTripSystem(t, 300)
+	sys.RequestPool().EnableAudit(func(detail string) {
+		t.Errorf("request pool double free: %s", detail)
+	})
+	if _, err := sys.Run(1_000, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if f := sys.PrefetcherFaults(); len(f) != 1 {
+		t.Fatalf("expected the guard to have tripped, got %+v", f)
+	}
+	base := sys.RequestPool().Outstanding()
+	for i := 0; i < 4; i++ {
+		if err := sys.Advance(5_000); err != nil {
+			t.Fatal(err)
+		}
+		out := sys.RequestPool().Outstanding()
+		if diff := out - base; diff > 256 || diff < -256 {
+			t.Fatalf("outstanding requests drifted %d → %d after %d extra instructions; leak across guard trip",
+				base, out, (i+1)*5_000)
+		}
+	}
+}

@@ -32,6 +32,10 @@ type System struct {
 
 	cycle int64
 
+	// pool is the system-wide request free list Build wired into every
+	// component.
+	pool *memsys.RequestPool
+
 	// guards are the fail-safe wrappers Build placed around the
 	// attached prefetchers (empty when cfg.DisableGuard).
 	guards []guardRef
@@ -217,6 +221,7 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 	// One request free list per system (the simulator is single-threaded
 	// within a system; separate systems may run concurrently).
 	pool := memsys.NewRequestPool()
+	s.pool = pool
 	s.mem.SetRequestPool(pool)
 	s.llc.SetRequestPool(pool)
 	for i := range s.cores {
@@ -224,6 +229,9 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 		s.l1ds[i].SetRequestPool(pool)
 		s.l1is[i].SetRequestPool(pool)
 		s.l2s[i].SetRequestPool(pool)
+	}
+	if cfg.Audit != nil {
+		cfg.Audit.Attach(s)
 	}
 	return s, nil
 }
@@ -273,6 +281,18 @@ func (s *System) DRAM() *dram.Controller { return s.mem }
 
 // Core exposes core i.
 func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// L1I exposes core i's L1-I cache.
+func (s *System) L1I(i int) *cache.Cache { return s.l1is[i] }
+
+// Cores returns the configured core count.
+func (s *System) Cores() int { return s.cfg.Cores }
+
+// RequestPool exposes the system-wide request free list (audit/testing).
+func (s *System) RequestPool() *memsys.RequestPool { return s.pool }
+
+// Cycle reports the current simulated cycle.
+func (s *System) CurrentCycle() int64 { return s.cycle }
 
 // SetTracer attaches an event tracer to every cache and every
 // telemetry-aware prefetcher in the system (nil detaches). The trace

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 
+	"ipcp/internal/audit"
 	"ipcp/internal/core"
 	"ipcp/internal/memsys"
 	"ipcp/internal/prefetch"
@@ -123,6 +124,15 @@ type RunConfig struct {
 	// Intervals, when non-nil, receives one metrics Sample every
 	// Intervals.Every cycles of the measured phase.
 	Intervals *IntervalLog
+
+	// Audit, when non-nil, attaches the differential audit harness: a
+	// functional shadow model of every cache and a straight-from-the-
+	// paper reference oracle running in lockstep with each IPCP
+	// instance. Invariant violations and reference divergences
+	// accumulate on the checker; RunContext finalizes it, so
+	// Audit.Err() is ready as soon as the run returns. Auditing slows
+	// the simulation severalfold — leave nil for performance runs.
+	Audit *AuditChecker
 }
 
 // Run builds and runs one simulation.
@@ -161,6 +171,9 @@ func RunContext(ctx context.Context, rc RunConfig) (*Result, error) {
 	if rc.LLCPrefetcher != "" {
 		cfg.LLCPrefetcher = sim.PrefetcherSpec{Name: rc.LLCPrefetcher}
 	}
+	if rc.Audit != nil {
+		cfg.Audit = rc.Audit
+	}
 	seed := rc.Seed
 	if seed == 0 {
 		seed = 1
@@ -192,7 +205,11 @@ func RunContext(ctx context.Context, rc RunConfig) (*Result, error) {
 	if meas == 0 {
 		meas = 200_000
 	}
-	return sys.RunContext(ctx, warm, meas)
+	res, err := sys.RunContext(ctx, warm, meas)
+	if rc.Audit != nil {
+		rc.Audit.Finish()
+	}
+	return res, err
 }
 
 // PrefetcherFault is a fail-safe trip recorded in Result: a guarded
@@ -240,6 +257,20 @@ func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
 // NewIntervalLog returns an interval-metrics log sampled every `every`
 // cycles (<= 0 selects the default period).
 func NewIntervalLog(every int64) *IntervalLog { return telemetry.NewIntervalLog(every) }
+
+// Audit surface, re-exported for correctness tooling. An AuditChecker
+// cross-checks a run against slow-but-obviously-correct reference
+// models (functional shadow caches, paper-faithful IPCP oracles) and
+// runtime invariants (page-boundary clamp, throttle ceilings, RR-filter
+// dedup, request-pool ownership); an AuditViolation is one failed
+// check.
+type (
+	AuditChecker   = audit.Checker
+	AuditViolation = audit.Violation
+)
+
+// NewAuditChecker returns an audit harness for RunConfig.Audit.
+func NewAuditChecker() *AuditChecker { return audit.New() }
 
 // Class identifiers, re-exported for metadata-aware tooling.
 const (
