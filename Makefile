@@ -5,10 +5,13 @@ GO ?= go
 TRACKED_BENCH = SimulatorThroughput|Fig7$$|Fig8$$
 BENCH_FILE   = BENCH_throughput.json
 
-.PHONY: check build vet test determinism audit bench benchsmoke benchdiff fuzz
+.PHONY: check build vet test determinism audit bench benchsmoke benchdiff fuzz serve-smoke
 
-# Tier-1 gate: everything must pass before a change lands.
-check: build vet test determinism audit fuzz
+# Tier-1 gate: everything must pass before a change lands. `test` runs
+# -race over every package — including the session-concurrency and
+# serve suites (internal/experiments, internal/serve); serve-smoke
+# exercises the built ipcpd binary end to end.
+check: build vet test determinism audit fuzz serve-smoke
 
 build:
 	$(GO) build ./...
@@ -51,3 +54,10 @@ benchsmoke:
 # Brief fuzz pass over the trace reader (longer runs: raise -fuzztime).
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReader$$' -fuzztime=10s
+
+# End-to-end daemon smoke: build the real ipcpd binary, boot it on an
+# ephemeral port with a cache dir, drive the API, SIGTERM it mid-job
+# expecting a clean (exit 0) drain, then reboot over the same cache and
+# prove the checkpointed result is served without resimulating.
+serve-smoke:
+	$(GO) test ./cmd/ipcpd -run '^TestServeSmoke$$' -count=1 -v

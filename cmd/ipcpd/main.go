@@ -1,0 +1,124 @@
+// Command ipcpd is the simulation daemon: a long-running HTTP/JSON
+// service over a shared experiment session.
+//
+//	ipcpd -addr 127.0.0.1:8799 -scale quick -cache-dir .ipcp-cache
+//
+//	curl -s localhost:8799/healthz
+//	curl -s -X POST localhost:8799/v1/runs \
+//	    -d '{"workloads":["mcf-994"],"l1d":"ipcp","l2":"ipcp"}'
+//	curl -s localhost:8799/v1/runs/j000001
+//	curl -sN localhost:8799/v1/runs/j000001/events
+//	curl -s -X POST localhost:8799/v1/experiments -d '{"ids":["fig8"]}'
+//	curl -s localhost:8799/metrics
+//
+// Identical concurrent submissions coalesce onto one job and one
+// simulation; results are memoized for the daemon's lifetime and — with
+// -cache-dir — checkpointed to disk, so a restarted daemon serves
+// previously computed runs without resimulating.
+//
+// SIGINT/SIGTERM drain gracefully: admission closes (new submissions
+// get 429), queued and in-flight jobs finish (every completed
+// simulation checkpointed when -cache-dir is set), then the process
+// exits 0. If -drain-timeout expires first, in-flight simulations are
+// cancelled cooperatively and the process exits 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipcp/internal/experiments"
+	"ipcp/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8799", "listen address (port 0 picks an ephemeral port)")
+		scale        = flag.String("scale", "quick", "simulation scale: quick | default")
+		warmup       = flag.Uint64("warmup", 0, "override warmup instructions")
+		measure      = flag.Uint64("measure", 0, "override measured instructions")
+		cacheDir     = flag.String("cache-dir", "", "checkpoint finished simulations here and serve them across restarts")
+		queueSize    = flag.Int("queue", 64, "bounded job backlog; a full queue rejects with 429")
+		workers      = flag.Int("workers", 0, "concurrent job runners (0 = NumCPU)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "cap on per-job deadlines (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain may take before in-flight work is cancelled")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "default":
+		sc = experiments.Default
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scale", *scale)
+		os.Exit(1)
+	}
+	if *warmup != 0 {
+		sc.Warmup = *warmup
+	}
+	if *measure != 0 {
+		sc.Measure = *measure
+	}
+
+	logger := log.New(os.Stderr, "ipcpd: ", log.LstdFlags)
+	srv, err := serve.New(serve.Options{
+		Scale:      sc,
+		CacheDir:   *cacheDir,
+		QueueSize:  *queueSize,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+		Log:        logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// The resolved address goes to stdout so scripts driving an
+	// ephemeral port (-addr 127.0.0.1:0) can find the server.
+	fmt.Printf("ipcpd listening on http://%s\n", ln.Addr())
+	logger.Printf("serving on http://%s (scale %s, queue %d)", ln.Addr(), *scale, *queueSize)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case sig := <-sigc:
+		logger.Printf("%s: draining (in-flight jobs finish; new submissions get 429)", sig)
+	}
+
+	// Drain while the listener keeps answering: pollers see their jobs
+	// finish and late submitters get an explicit 429 instead of a
+	// connection refusal.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+	}
+	srv.Close()
+	if drainErr != nil {
+		logger.Printf("drain incomplete: %v (in-flight work cancelled)", drainErr)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end daemon exercise behind `make
+// serve-smoke`: build the real binary, boot it on an ephemeral port,
+// drive the API, SIGTERM it mid-job and demand a clean (exit 0) drain,
+// then reboot over the same cache directory and prove the checkpointed
+// result is served without resimulating.
+//
+// The binary is built without -race regardless of how this test binary
+// runs, so simulation speed — and therefore the drain-window timing —
+// is stable under `go test -race ./...`.
+func TestServeSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "ipcpd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building ipcpd: %v\n%s", err, out)
+	}
+	cacheDir := t.TempDir()
+	// A job big enough (~4M instructions) to still be in flight when
+	// the SIGTERM lands, small enough to drain in a few seconds.
+	args := []string{
+		"-addr", "127.0.0.1:0", "-scale", "quick",
+		"-measure", "4000000", "-warmup", "10000",
+		"-cache-dir", cacheDir, "-drain-timeout", "120s",
+	}
+
+	// --- First life: busy drain. ---------------------------------------
+	d := startDaemon(t, bin, args)
+	mustGet(t, d.base+"/healthz", http.StatusOK)
+	mustGet(t, d.base+"/metrics", http.StatusOK)
+
+	id := submitRun(t, d.base, `{"workloads":["mcf-994"],"l1d":"ipcp","l2":"ipcp"}`)
+	waitState(t, d.base, id, "running", 30*time.Second)
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// While draining, new admissions bounce with 429 (or, if the drain
+	// already finished, the listener is gone — both are "not admitted").
+	deadline := time.Now().Add(10 * time.Second)
+	admissionClosed := false
+	for time.Now().Before(deadline) && !admissionClosed {
+		resp, err := http.Post(d.base+"/v1/runs", "application/json",
+			strings.NewReader(`{"workloads":["bwaves-98"]}`))
+		switch {
+		case err != nil:
+			admissionClosed = true // listener closed: drain completed
+		case resp.StatusCode == http.StatusTooManyRequests:
+			resp.Body.Close()
+			admissionClosed = true
+		case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+			// Signal not yet processed; retry.
+			resp.Body.Close()
+			time.Sleep(20 * time.Millisecond)
+		default:
+			resp.Body.Close()
+			t.Fatalf("probe during drain: unexpected status %d", resp.StatusCode)
+		}
+	}
+	if !admissionClosed {
+		t.Fatal("admission never closed after SIGTERM")
+	}
+	if err := d.wait(120 * time.Second); err != nil {
+		t.Fatalf("busy drain was not clean: %v", err)
+	}
+
+	// The in-flight job completed and was checkpointed.
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpointed results in %s after drain (err=%v)", cacheDir, err)
+	}
+
+	// --- Second life: resume from the checkpoint. ----------------------
+	d2 := startDaemon(t, bin, args)
+	id2 := submitRun(t, d2.base, `{"workloads":["mcf-994"],"l1d":"ipcp","l2":"ipcp"}`)
+	waitState(t, d2.base, id2, "done", 30*time.Second)
+
+	var m struct {
+		Session struct {
+			Executed int `json:"executed"`
+			DiskHits int `json:"disk_hits"`
+		} `json:"session"`
+	}
+	getJSON(t, d2.base+"/metrics", &m)
+	if m.Session.Executed != 0 || m.Session.DiskHits != 1 {
+		t.Fatalf("restarted daemon: executed=%d disk_hits=%d, want 0/1 (checkpoint reuse)",
+			m.Session.Executed, m.Session.DiskHits)
+	}
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.wait(60 * time.Second); err != nil {
+		t.Fatalf("idle drain was not clean: %v", err)
+	}
+}
+
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+	done chan error
+}
+
+// startDaemon launches the binary and parses the ephemeral address off
+// stdout. The process is killed at test cleanup if still alive.
+func startDaemon(t *testing.T, bin string, args []string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "ipcpd listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address: %v", sc.Err())
+	}
+	d := &daemon{cmd: cmd, base: addr, done: make(chan error, 1)}
+	go func() {
+		// Drain the rest of stdout so the child never blocks on a full
+		// pipe, then reap it.
+		for sc.Scan() {
+		}
+		d.done <- cmd.Wait()
+	}()
+	return d
+}
+
+// wait blocks for process exit and fails on a non-zero status.
+func (d *daemon) wait(timeout time.Duration) error {
+	select {
+	case err := <-d.done:
+		return err
+	case <-time.After(timeout):
+		return errors.New("daemon did not exit in time")
+	}
+}
+
+func mustGet(t *testing.T, url string, want int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, want)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}
+
+func submitRun(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs = %d", resp.StatusCode)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+// waitState polls the job until it reaches state (or a terminal state
+// past it).
+func waitState(t *testing.T, base, id, state string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var v struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		getJSON(t, base+"/v1/runs/"+id, &v)
+		switch {
+		case v.Status == state:
+			return
+		case v.Status == "failed":
+			t.Fatalf("job %s failed: %s", id, v.Error)
+		case v.Status == "done" && state == "running":
+			t.Fatalf("job %s finished before the drain window (machine too fast for the smoke sizing?)", id)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", id, v.Status, state)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -165,7 +165,10 @@ type RunSpec struct {
 	Seed int64
 }
 
-func (r RunSpec) key() string {
+// Key is the spec's memoization identity: two specs with equal keys
+// describe the same simulation. The serve layer uses it to coalesce
+// identical submissions onto one job.
+func (r RunSpec) Key() string {
 	return fmt.Sprintf("%v|%d|%s|%s|%s|%s|%s|%.1f|%d|%d|%d|%d|%d|%d",
 		r.Workloads, r.Cores, r.L1D, r.L2, r.LLC, r.ConfigKey,
 		r.LLCRepl, r.DRAMGBps, r.L1PQ, r.L1MSHR, r.L1DWays, r.L2Sets,
@@ -200,9 +203,33 @@ func fatal(err error) bool {
 // outcome is one memoized run: a result or its (non-fatal) error.
 // Errors are memoized too, so a failing spec reports the same fault
 // everywhere it appears instead of recomputing the failure.
+//
+// An outcome enters the cache the moment a caller commits to running
+// its spec, before the simulation starts: done is closed once res/err
+// are valid, and every later caller of the same spec waits on it
+// instead of redundantly executing (single-flight). A fatal (cancelled
+// or deadline-exceeded) outcome is removed from the cache before done
+// closes, so waiters whose own context is still live retry as the new
+// leader rather than inheriting an interruption that wasn't theirs.
 type outcome struct {
-	res *sim.Result
-	err error
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// SessionStats counts how the session's Run calls were satisfied.
+type SessionStats struct {
+	// Executed is how many simulations actually ran.
+	Executed int
+	// MemoHits were served from the in-memory memo cache.
+	MemoHits int
+	// DiskHits were loaded from the disk checkpoint cache.
+	DiskHits int
+	// Coalesced callers found an identical run already in flight and
+	// waited for its outcome instead of executing (single-flight).
+	Coalesced int
+	// Faults is the number of degraded (failed but non-fatal) runs.
+	Faults int
 }
 
 // Session memoizes simulation results for one Scale.
@@ -212,11 +239,14 @@ type Session struct {
 	ctx  context.Context
 	disk *diskCache
 
-	mu       sync.Mutex
-	cache    map[string]*outcome
-	faults   []RunFault
-	executed int
-	sem      chan struct{}
+	mu        sync.Mutex
+	cache     map[string]*outcome
+	faults    []RunFault
+	executed  int
+	memoHits  int
+	diskHits  int
+	coalesced int
+	sem       chan struct{}
 }
 
 // NewSession returns a Session running at the given scale.
@@ -271,49 +301,109 @@ func (s *Session) Executed() int {
 	return s.executed
 }
 
+// Stats returns the session's run-disposition counters; the serve
+// layer surfaces them on /metrics.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{
+		Executed:  s.executed,
+		MemoHits:  s.memoHits,
+		DiskHits:  s.diskHits,
+		Coalesced: s.coalesced,
+		Faults:    len(s.faults),
+	}
+}
+
 // Run executes (or recalls) one simulation.
 func (s *Session) Run(spec RunSpec) (*sim.Result, error) {
-	k := spec.key()
-	s.mu.Lock()
-	if o, ok := s.cache[k]; ok {
+	return s.RunContext(context.Background(), spec)
+}
+
+// RunContext executes (or recalls) one simulation. ctx bounds this
+// call only — a per-job deadline from the serve layer, say — and is
+// honored alongside the session's own context: the run is cancelled
+// when either one is. Concurrent calls with the same spec key are
+// single-flight: the first caller executes and the rest wait for its
+// outcome, so N identical submissions cost one simulation.
+func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*sim.Result, error) {
+	k := spec.Key()
+	for {
+		s.mu.Lock()
+		if o, ok := s.cache[k]; ok {
+			select {
+			case <-o.done: // resolved: a plain memo hit
+				s.memoHits++
+				s.mu.Unlock()
+				return o.res, o.err
+			default: // in flight: coalesce onto the leader
+			}
+			s.coalesced++
+			s.mu.Unlock()
+			select {
+			case <-o.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-s.ctx.Done():
+				return nil, s.ctx.Err()
+			}
+			if o.err != nil && fatal(o.err) {
+				// The leader was interrupted and its entry removed; our
+				// own context may still be live, so retry as the new
+				// leader instead of inheriting the interruption.
+				if err := firstError(ctx.Err(), s.ctx.Err()); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return o.res, o.err
+		}
+		o := &outcome{done: make(chan struct{})}
+		s.cache[k] = o
 		s.mu.Unlock()
-		return o.res, o.err
+		return s.lead(ctx, spec, k, o)
 	}
-	s.mu.Unlock()
+}
 
-	if err := s.ctx.Err(); err != nil {
-		return nil, err
+// lead resolves an in-flight cache entry as its leader: it loads or
+// executes the run, publishes the outcome, and wakes every coalesced
+// waiter. Exactly one goroutine leads each in-flight entry.
+func (s *Session) lead(ctx context.Context, spec RunSpec, k string, o *outcome) (*sim.Result, error) {
+	resolve := func(res *sim.Result, err error) (*sim.Result, error) {
+		s.mu.Lock()
+		o.res, o.err = res, err
+		switch {
+		case err != nil && fatal(err):
+			// Cancellation is not memoized: a resumed session must
+			// re-run the interrupted spec, not replay the interruption.
+			delete(s.cache, k)
+		case err != nil:
+			s.faults = append(s.faults, RunFault{Spec: k, Workloads: spec.Workloads, Err: err})
+		}
+		s.mu.Unlock()
+		close(o.done)
+		return res, err
 	}
 
+	if err := firstError(ctx.Err(), s.ctx.Err()); err != nil {
+		return resolve(nil, err)
+	}
 	if s.disk != nil {
 		if res, ok := s.disk.load(s.diskKey(k), k); ok {
 			s.mu.Lock()
-			s.cache[k] = &outcome{res: res}
+			s.diskHits++
 			s.mu.Unlock()
-			return res, nil
+			return resolve(res, nil)
 		}
 	}
-
-	res, err := s.execute(spec)
+	res, err := s.execute(ctx, spec)
 	if err != nil {
-		if fatal(err) {
-			// Cancellation is not memoized: a resumed session must
-			// re-run the interrupted spec, not replay the interruption.
-			return nil, err
-		}
-		s.mu.Lock()
-		s.cache[k] = &outcome{err: err}
-		s.faults = append(s.faults, RunFault{Spec: k, Workloads: spec.Workloads, Err: err})
-		s.mu.Unlock()
-		return nil, err
+		return resolve(nil, err)
 	}
 	if s.disk != nil {
 		s.disk.store(s.diskKey(k), k, res)
 	}
-	s.mu.Lock()
-	s.cache[k] = &outcome{res: res}
-	s.mu.Unlock()
-	return res, nil
+	return resolve(res, nil)
 }
 
 // RunAll executes the specs concurrently and returns results in order;
@@ -352,8 +442,8 @@ func (s *Session) RunAllPartial(specs []RunSpec) ([]*sim.Result, []error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			s.sem <- struct{}{}
-			defer func() { <-s.sem }()
+			// Admission control lives in execute, not here: memo and
+			// disk hits (and coalesced waits) don't occupy a CPU slot.
 			results[i], errs[i] = s.Run(specs[i])
 		}(i)
 	}
@@ -361,7 +451,31 @@ func (s *Session) RunAllPartial(specs []RunSpec) ([]*sim.Result, []error) {
 	return results, errs
 }
 
-func (s *Session) execute(spec RunSpec) (res *sim.Result, err error) {
+// runContext returns a context cancelled when either the session's
+// context or the per-call ctx is done, plus its release function.
+func (s *Session) runContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == context.Background() {
+		return s.ctx, func() {}
+	}
+	merged, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(s.ctx, cancel)
+	return merged, func() { stop(); cancel() }
+}
+
+func (s *Session) execute(ctx context.Context, spec RunSpec) (res *sim.Result, err error) {
+	runCtx, release := s.runContext(ctx)
+	defer release()
+
+	// The concurrency cap is enforced here — the one place every
+	// simulation passes through — so direct Run calls, the multicore
+	// helpers and the serve layer all honor it, not just RunAllPartial.
+	select {
+	case s.sem <- struct{}{}:
+	case <-runCtx.Done():
+		return nil, runCtx.Err()
+	}
+	defer func() { <-s.sem }()
+
 	s.mu.Lock()
 	s.executed++
 	s.mu.Unlock()
@@ -426,7 +540,7 @@ func (s *Session) execute(spec RunSpec) (res *sim.Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return sys.RunContext(s.ctx, s.Scale.Warmup, s.Scale.Measure)
+	return sys.RunContext(runCtx, s.Scale.Warmup, s.Scale.Measure)
 }
 
 // capSpread caps a sorted name list by taking evenly spaced entries,

@@ -318,7 +318,7 @@ func TestDiskCacheKeyMismatchIsMiss(t *testing.T) {
 	if err := s.SetCacheDir(t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
-	k := RunSpec{Workloads: []string{"bwaves-98"}}.key()
+	k := RunSpec{Workloads: []string{"bwaves-98"}}.Key()
 	res, err := s.Run(RunSpec{Workloads: []string{"bwaves-98"}})
 	if err != nil {
 		t.Fatal(err)

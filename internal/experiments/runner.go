@@ -93,6 +93,10 @@ func RunIDs(ctx context.Context, s *Session, ids []string, progress func(res Exp
 		res.Elapsed = time.Since(start)
 		if res.Err != nil && fatal(res.Err) {
 			rep.Interrupted = true
+			// The interrupted experiment is part of the record: it must
+			// show up in Failed() and the rendered report, not silently
+			// vanish as if it was never started.
+			rep.Results = append(rep.Results, res)
 			if progress != nil {
 				progress(res, true)
 			}

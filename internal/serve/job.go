@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ipcp/internal/experiments"
+	"ipcp/internal/sim"
+)
+
+// JobKind distinguishes the two job shapes ipcpd serves.
+type JobKind string
+
+const (
+	// KindRun is one simulation described by a RunSpec.
+	KindRun JobKind = "run"
+	// KindExperiments is a batch of named paper experiments.
+	KindExperiments JobKind = "experiments"
+)
+
+// JobState is a job's lifecycle position. Transitions are strictly
+// queued → running → done|failed; a job never leaves a terminal state.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// JobEvent is one line of a job's progress stream, delivered as JSONL
+// on GET /v1/runs/{id}/events.
+type JobEvent struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Msg  string    `json:"msg,omitempty"`
+}
+
+// Job is one unit of admitted work. The immutable identity fields are
+// set before the job is published; everything below mu is the mutable
+// lifecycle, observed concurrently by workers, pollers and streamers.
+type Job struct {
+	ID      string
+	Kind    JobKind
+	Spec    experiments.RunSpec // KindRun
+	Req     *runRequest         // the wire form of Spec, echoed in views
+	ExpIDs  []string            // KindExperiments
+	Timeout time.Duration       // 0 = no per-job deadline
+	key     string              // coalescing key (KindRun only)
+
+	mu        sync.Mutex
+	state     JobState
+	err       error
+	result    *sim.Result
+	report    *experiments.Report
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	events    []JobEvent
+	changed   chan struct{} // closed and replaced on every mutation
+}
+
+func newJob(kind JobKind) *Job {
+	j := &Job{
+		Kind:      kind,
+		state:     StateQueued,
+		submitted: time.Now(),
+		changed:   make(chan struct{}),
+	}
+	j.events = append(j.events, JobEvent{Seq: 0, Time: j.submitted, Kind: "queued"})
+	return j
+}
+
+// notifyLocked wakes every waiter; callers hold j.mu.
+func (j *Job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// Event appends one progress event and wakes streamers.
+func (j *Job) Event(kind, msg string) {
+	j.mu.Lock()
+	j.events = append(j.events, JobEvent{Seq: len(j.events), Time: time.Now(), Kind: kind, Msg: msg})
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// begin marks the job running.
+func (j *Job) begin() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.events = append(j.events, JobEvent{Seq: len(j.events), Time: j.started, Kind: "started"})
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// finish resolves the job into its terminal state.
+func (j *Job) finish(res *sim.Result, rep *experiments.Report, err error) {
+	j.mu.Lock()
+	j.result, j.report, j.err = res, rep, err
+	j.finished = time.Now()
+	ev := JobEvent{Seq: len(j.events), Time: j.finished, Kind: "done"}
+	j.state = StateDone
+	if err != nil {
+		j.state = StateFailed
+		ev.Kind = "failed"
+		ev.Msg = err.Error()
+	}
+	j.events = append(j.events, ev)
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// Err returns the job's terminal error (nil while non-terminal or on
+// success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// eventsSince returns a copy of the events from seq onward, the channel
+// that will be closed on the next mutation, and whether the job is
+// terminal — everything a streamer needs for one follow iteration.
+func (j *Job) eventsSince(seq int) (events []JobEvent, changed <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq < len(j.events) {
+		events = append(events, j.events[seq:]...)
+	}
+	return events, j.changed, j.state == StateDone || j.state == StateFailed
+}
+
+// jobView is the JSON shape of GET /v1/runs/{id}.
+type jobView struct {
+	ID        string      `json:"id"`
+	Kind      JobKind     `json:"kind"`
+	Status    JobState    `json:"status"`
+	Submitted time.Time   `json:"submitted"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+	ElapsedS  float64     `json:"elapsed_s,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	Result    *sim.Result `json:"result,omitempty"`
+	Report    *reportView `json:"report,omitempty"`
+	Spec      *runRequest `json:"spec,omitempty"`
+	ExpIDs    []string    `json:"experiment_ids,omitempty"`
+}
+
+// reportView is the JSON shape of a completed experiments job.
+type reportView struct {
+	Interrupted bool         `json:"interrupted"`
+	Markdown    string       `json:"markdown"`
+	Failed      []failedView `json:"failed,omitempty"`
+}
+
+type failedView struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		Status:    j.state,
+		Submitted: j.submitted,
+		Result:    j.result,
+		ExpIDs:    j.ExpIDs,
+		Spec:      j.Req,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+		v.ElapsedS = j.finished.Sub(j.started).Seconds()
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.report != nil {
+		rv := &reportView{Interrupted: j.report.Interrupted, Markdown: j.report.Markdown()}
+		for _, res := range j.report.Failed() {
+			rv.Failed = append(rv.Failed, failedView{ID: res.ID, Error: fmt.Sprint(res.Err)})
+		}
+		v.Report = rv
+	}
+	return v
+}

@@ -1,0 +1,625 @@
+// Package serve is the ipcpd daemon's core: a long-running HTTP/JSON
+// front end over a shared experiments.Session. It turns the session's
+// memoization, single-flight dedup, disk checkpointing and
+// context-cancellation machinery into a simulation service with
+// admission control (bounded queue, 429 + Retry-After on overload),
+// request coalescing (N clients asking for the same run share one
+// simulation and one job), per-job deadlines, streamed progress, and
+// graceful drain on shutdown.
+//
+// Everything is stdlib net/http; the API surface is small and
+// versioned under /v1:
+//
+//	POST /v1/runs             submit one simulation (RunSpec shape)
+//	GET  /v1/runs/{id}        job status, result when done
+//	GET  /v1/runs/{id}/events streamed JSONL progress
+//	POST /v1/experiments      run named paper experiments
+//	GET  /v1/experiments      list experiment ids
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             queue/cache/latency counters (JSON)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"ipcp/internal/experiments"
+	"ipcp/internal/memsys"
+	"ipcp/internal/prefetch"
+	"ipcp/internal/telemetry"
+	"ipcp/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Scale is the session's simulation scale (experiments.Quick when
+	// zero).
+	Scale experiments.Scale
+	// CacheDir, when set, checkpoints every finished simulation to disk
+	// so results persist across daemon restarts.
+	CacheDir string
+	// QueueSize bounds the admitted-but-not-started backlog (default
+	// 64). A full queue rejects with 429 + Retry-After.
+	QueueSize int
+	// Workers is the number of concurrent job runners (default
+	// NumCPU). The session separately caps concurrent simulations at
+	// NumCPU, so extra workers only help jobs that coalesce or hit
+	// caches.
+	Workers int
+	// JobTimeout caps every job's per-request timeout_ms; 0 means
+	// requests may run unbounded.
+	JobTimeout time.Duration
+	// Log receives operational one-liners (admissions, completions,
+	// drain). Nil discards.
+	Log *log.Logger
+}
+
+// Server owns the session, the job queue and the worker pool. Create
+// with New, expose via Handler, stop with Drain (graceful) or Close.
+type Server struct {
+	opts    Options
+	session *experiments.Session
+	ctx     context.Context
+	cancel  context.CancelFunc
+	log     *log.Logger
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	byKey    map[string]*Job // in-flight/completed run jobs by spec key
+	seq      int
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	inFlight  telemetry.Gauge
+	admitted  telemetry.Counter
+	rejected  telemetry.Counter
+	coalesced telemetry.Counter
+	completed telemetry.Counter
+	failed    telemetry.Counter
+	latency   *telemetry.Histogram
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Scale == (experiments.Scale{}) {
+		opts.Scale = experiments.Quick
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 64
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.Log == nil {
+		opts.Log = log.New(io.Discard, "", 0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	session := experiments.NewSessionContext(ctx, opts.Scale)
+	if opts.CacheDir != "" {
+		if err := session.SetCacheDir(opts.CacheDir); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	s := &Server{
+		opts:    opts,
+		session: session,
+		ctx:     ctx,
+		cancel:  cancel,
+		log:     opts.Log,
+		jobs:    make(map[string]*Job),
+		byKey:   make(map[string]*Job),
+		queue:   make(chan *Job, opts.QueueSize),
+		latency: telemetry.NewHistogram(),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Session exposes the underlying experiments session (metrics, tests).
+func (s *Server) Session() *experiments.Session { return s.session }
+
+// Draining reports whether admission has been closed.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// StartDrain closes admission: new submissions are rejected with 429
+// and workers exit once the queue empties. Idempotent.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+		s.log.Printf("serve: draining (queue closed, admission off)")
+	}
+	s.mu.Unlock()
+}
+
+// AwaitDrain blocks until every queued and in-flight job has finished.
+// If ctx expires first, in-flight simulations are cancelled (they stop
+// within a few thousand cycles; completed sub-runs are already
+// checkpointed when a cache dir is configured) and the context error is
+// returned after the workers unwind.
+func (s *Server) AwaitDrain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Drain is StartDrain + AwaitDrain: the SIGTERM path.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	return s.AwaitDrain(ctx)
+}
+
+// Close shuts down immediately: admission off, in-flight work
+// cancelled, workers joined.
+func (s *Server) Close() {
+	s.StartDrain()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// errQueueFull and errDraining are the two admission refusals; both
+// map to 429 so clients retry against a drained or less-loaded server.
+var (
+	errQueueFull = errors.New("job queue full")
+	errDraining  = errors.New("server draining")
+)
+
+// submit admits a job (assigning its ID) or coalesces it onto an
+// existing identical run job.
+func (s *Server) submit(j *Job) (*Job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected.Inc()
+		return nil, false, errDraining
+	}
+	if j.Kind == KindRun {
+		if exist, ok := s.byKey[j.key]; ok {
+			// HTTP-level coalescing: the identical run is already
+			// queued, running or done — share its job. Identical runs
+			// reached through *different* entry points (a run job and
+			// an experiment job touching the same spec) are coalesced
+			// one layer down, by the session's single-flight cache.
+			s.coalesced.Inc()
+			return exist, true, nil
+		}
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected.Inc()
+		return nil, false, errQueueFull
+	}
+	s.seq++
+	j.ID = fmt.Sprintf("j%06d", s.seq)
+	s.jobs[j.ID] = j
+	if j.Kind == KindRun {
+		s.byKey[j.key] = j
+	}
+	s.admitted.Inc()
+	s.log.Printf("serve: admitted %s (%s)", j.ID, j.Kind)
+	return j, false, nil
+}
+
+// lookup finds a job by id.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// interrupted reports a cancellation-shaped error (per-job deadline or
+// server shutdown) — the kind the session deliberately does not
+// memoize, so a retried job re-runs.
+func interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (s *Server) runJob(j *Job) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	start := time.Now()
+	j.begin()
+
+	ctx, cancel := s.ctx, context.CancelFunc(func() {})
+	if j.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.ctx, j.Timeout)
+	}
+	defer cancel()
+
+	switch j.Kind {
+	case KindRun:
+		res, err := s.session.RunContext(ctx, j.Spec)
+		j.finish(res, nil, err)
+	case KindExperiments:
+		rep, err := experiments.RunIDs(ctx, s.session, j.ExpIDs,
+			func(res experiments.ExperimentResult, done bool) {
+				switch {
+				case !done:
+					j.Event("experiment-start", res.ID)
+				case res.Err != nil:
+					j.Event("experiment-failed", fmt.Sprintf("%s: %v", res.ID, res.Err))
+				default:
+					j.Event("experiment-done", fmt.Sprintf("%s (%.1fs)", res.ID, res.Elapsed.Seconds()))
+				}
+			})
+		if err == nil && rep.Interrupted {
+			err = fmt.Errorf("experiments interrupted: %w", firstNonNil(ctx.Err(), context.Canceled))
+		}
+		j.finish(nil, rep, err)
+	}
+
+	s.latency.Observe(time.Since(start).Seconds())
+	if err := j.Err(); err != nil {
+		s.failed.Inc()
+		s.log.Printf("serve: %s failed after %.2fs: %v", j.ID, time.Since(start).Seconds(), err)
+		// A cancelled/timed-out run is not memoized by the session, so
+		// don't pin later identical submissions to this dead job.
+		if j.Kind == KindRun && interrupted(err) {
+			s.mu.Lock()
+			if s.byKey[j.key] == j {
+				delete(s.byKey, j.key)
+			}
+			s.mu.Unlock()
+		}
+		return
+	}
+	s.completed.Inc()
+	s.log.Printf("serve: %s done in %.2fs", j.ID, time.Since(start).Seconds())
+}
+
+func firstNonNil(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- HTTP layer ----------------------------------------------------------
+
+// runRequest is the wire form of POST /v1/runs — a JSON rendering of
+// experiments.RunSpec plus a per-job timeout.
+type runRequest struct {
+	Workloads      []string `json:"workloads"`
+	Cores          int      `json:"cores,omitempty"`
+	L1D            string   `json:"l1d,omitempty"`
+	L2             string   `json:"l2,omitempty"`
+	LLC            string   `json:"llc,omitempty"`
+	ConfigKey      string   `json:"config_key,omitempty"`
+	LLCRepl        string   `json:"llc_repl,omitempty"`
+	DRAMGBps       float64  `json:"dram_gbps,omitempty"`
+	L1PQ           int      `json:"l1_pq,omitempty"`
+	L1MSHR         int      `json:"l1_mshr,omitempty"`
+	L1DWays        int      `json:"l1d_ways,omitempty"`
+	L2Sets         int      `json:"l2_sets,omitempty"`
+	LLCSetsPerCore int      `json:"llc_sets_per_core,omitempty"`
+	Seed           int64    `json:"seed,omitempty"`
+	TimeoutMS      int64    `json:"timeout_ms,omitempty"`
+}
+
+func (r *runRequest) spec() experiments.RunSpec {
+	return experiments.RunSpec{
+		Workloads: r.Workloads, Cores: r.Cores,
+		L1D: r.L1D, L2: r.L2, LLC: r.LLC, ConfigKey: r.ConfigKey,
+		LLCRepl: r.LLCRepl, DRAMGBps: r.DRAMGBps,
+		L1PQ: r.L1PQ, L1MSHR: r.L1MSHR, L1DWays: r.L1DWays,
+		L2Sets: r.L2Sets, LLCSetsPerCore: r.LLCSetsPerCore,
+		Seed: r.Seed,
+	}
+}
+
+// validate rejects requests the simulator would only fail on later,
+// so bad input costs a 400 instead of a queued failing job.
+func (r *runRequest) validate() error {
+	if len(r.Workloads) == 0 {
+		return errors.New("workloads must be non-empty")
+	}
+	for _, w := range r.Workloads {
+		if _, err := workload.Named(w); err != nil {
+			return err
+		}
+	}
+	if r.Cores != 0 && r.Cores != len(r.Workloads) {
+		return fmt.Errorf("cores (%d) must be 0 or match the workload count (%d)", r.Cores, len(r.Workloads))
+	}
+	for _, p := range []string{r.L1D, r.L2, r.LLC} {
+		if _, err := prefetch.New(p, memsys.LevelL1D); err != nil {
+			return err
+		}
+	}
+	if r.TimeoutMS < 0 {
+		return errors.New("timeout_ms must be >= 0")
+	}
+	return nil
+}
+
+// experimentsRequest is the wire form of POST /v1/experiments.
+type experimentsRequest struct {
+	IDs       []string `json:"ids"` // experiment ids, or ["all"]
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// submitView is the JSON shape of a successful submission.
+type submitView struct {
+	ID        string   `json:"id"`
+	Status    JobState `json:"status"`
+	Location  string   `json:"location"`
+	Coalesced bool     `json:"coalesced,omitempty"`
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v1/experiments", s.handleSubmitExperiments)
+	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeAdmissionError maps the two refusals onto 429 + Retry-After.
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, err)
+}
+
+// timeout clamps a request's timeout_ms to the server's JobTimeout cap.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if s.opts.JobTimeout > 0 && (d == 0 || d > s.opts.JobTimeout) {
+		d = s.opts.JobTimeout
+	}
+	return d
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := newJob(KindRun)
+	j.Spec = req.spec()
+	j.Req = &req
+	j.Timeout = s.timeout(req.TimeoutMS)
+	j.key = j.Spec.Key()
+
+	admitted, coalesced, err := s.submit(j)
+	if err != nil {
+		writeAdmissionError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if coalesced {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, submitView{
+		ID:        admitted.ID,
+		Status:    admitted.State(),
+		Location:  "/v1/runs/" + admitted.ID,
+		Coalesced: coalesced,
+	})
+}
+
+func (s *Server) handleSubmitExperiments(w http.ResponseWriter, r *http.Request) {
+	var req experimentsRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("ids must be non-empty"))
+		return
+	}
+	ids := req.IDs
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range ids {
+			if _, err := experiments.ByID(id); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+	}
+	j := newJob(KindExperiments)
+	j.ExpIDs = ids
+	j.Timeout = s.timeout(req.TimeoutMS)
+
+	admitted, _, err := s.submit(j)
+	if err != nil {
+		writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitView{
+		ID:       admitted.ID,
+		Status:   admitted.State(),
+		Location: "/v1/runs/" + admitted.ID,
+	})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleJobEvents streams a job's progress as JSONL, following until
+// the job reaches a terminal state or the client goes away.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		events, changed, terminal := j.eventsSince(next)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		next += len(events)
+		if fl != nil && len(events) > 0 {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// experimentView is one row of GET /v1/experiments.
+type experimentView struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Paper string `json:"paper,omitempty"`
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	out := make([]experimentView, 0)
+	for _, e := range experiments.All() {
+		out = append(out, experimentView{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// MetricsSnapshot is the JSON shape of GET /metrics.
+type MetricsSnapshot struct {
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	InFlight      int64 `json:"in_flight"`
+	Draining      bool  `json:"draining"`
+
+	Jobs struct {
+		Admitted  uint64 `json:"admitted"`
+		Rejected  uint64 `json:"rejected"`
+		Coalesced uint64 `json:"coalesced"`
+		Completed uint64 `json:"completed"`
+		Failed    uint64 `json:"failed"`
+	} `json:"jobs"`
+
+	// Session counters: how run requests were satisfied underneath the
+	// job layer (memo, disk checkpoint, single-flight coalescing).
+	Session struct {
+		Executed  int `json:"executed"`
+		MemoHits  int `json:"memo_hits"`
+		DiskHits  int `json:"disk_hits"`
+		Coalesced int `json:"coalesced"`
+		Faults    int `json:"faults"`
+	} `json:"session"`
+
+	// JobLatency is the end-to-end job latency histogram in seconds
+	// (queued jobs excluded until they finish).
+	JobLatency telemetry.HistogramSnapshot `json:"job_latency_s"`
+}
+
+// Metrics assembles a point-in-time snapshot.
+func (s *Server) Metrics() MetricsSnapshot {
+	var m MetricsSnapshot
+	m.QueueDepth = len(s.queue)
+	m.QueueCapacity = s.opts.QueueSize
+	m.InFlight = s.inFlight.Value()
+	m.Draining = s.Draining()
+	m.Jobs.Admitted = s.admitted.Value()
+	m.Jobs.Rejected = s.rejected.Value()
+	m.Jobs.Coalesced = s.coalesced.Value()
+	m.Jobs.Completed = s.completed.Value()
+	m.Jobs.Failed = s.failed.Value()
+	st := s.session.Stats()
+	m.Session.Executed = st.Executed
+	m.Session.MemoHits = st.MemoHits
+	m.Session.DiskHits = st.DiskHits
+	m.Session.Coalesced = st.Coalesced
+	m.Session.Faults = st.Faults
+	m.JobLatency = s.latency.Snapshot()
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
