@@ -5,13 +5,13 @@ GO ?= go
 TRACKED_BENCH = SimulatorThroughput|Fig7$$|Fig8$$
 BENCH_FILE   = BENCH_throughput.json
 
-.PHONY: check build vet test determinism audit bench benchsmoke benchdiff fuzz serve-smoke
+.PHONY: check build vet test determinism audit bench benchsmoke benchdiff fuzz serve-smoke obs-smoke
 
 # Tier-1 gate: everything must pass before a change lands. `test` runs
 # -race over every package — including the session-concurrency and
-# serve suites (internal/experiments, internal/serve); serve-smoke
-# exercises the built ipcpd binary end to end.
-check: build vet test determinism audit fuzz serve-smoke
+# serve suites (internal/experiments, internal/serve); serve-smoke and
+# obs-smoke exercise the built ipcpd binary end to end.
+check: build vet test determinism audit fuzz serve-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -61,3 +61,10 @@ fuzz:
 # prove the checkpointed result is served without resimulating.
 serve-smoke:
 	$(GO) test ./cmd/ipcpd -run '^TestServeSmoke$$' -count=1 -v
+
+# End-to-end observability smoke: boot ipcpd with JSON debug logs and a
+# pprof listener, submit a run tagged X-Request-ID: demo, and demand the
+# id back on the response header, every related structured log line and
+# the Chrome trace; scrape Prometheus metrics; hit buildinfo and pprof.
+obs-smoke:
+	$(GO) test ./cmd/ipcpd -run '^TestObsSmoke$$' -count=1 -v

@@ -4,12 +4,23 @@
 //	ipcpd -addr 127.0.0.1:8799 -scale quick -cache-dir .ipcp-cache
 //
 //	curl -s localhost:8799/healthz
-//	curl -s -X POST localhost:8799/v1/runs \
+//	curl -s -X POST localhost:8799/v1/runs -H 'X-Request-ID: demo' \
 //	    -d '{"workloads":["mcf-994"],"l1d":"ipcp","l2":"ipcp"}'
 //	curl -s localhost:8799/v1/runs/j000001
 //	curl -sN localhost:8799/v1/runs/j000001/events
+//	curl -s localhost:8799/v1/runs/j000001/progress
+//	curl -s localhost:8799/v1/runs/j000001/trace     # chrome://tracing
 //	curl -s -X POST localhost:8799/v1/experiments -d '{"ids":["fig8"]}'
-//	curl -s localhost:8799/metrics
+//	curl -s localhost:8799/metrics                    # JSON
+//	curl -s -H 'Accept: text/plain' localhost:8799/metrics  # Prometheus
+//	curl -s localhost:8799/v1/buildinfo
+//	curl -s localhost:8799/debug/trace
+//
+// Every request is correlated by X-Request-ID (supplied or minted): the
+// id rides every structured log line, every span in the trace exports,
+// and the job record. Logs go to stderr via log/slog; -log-format json
+// emits machine-parseable lines, -log-level debug adds per-request
+// access logs.
 //
 // Identical concurrent submissions coalesce onto one job and one
 // simulation; results are memoized for the daemon's lifetime and — with
@@ -27,9 +38,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,8 +62,29 @@ func main() {
 		workers      = flag.Int("workers", 0, "concurrent job runners (0 = NumCPU)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "cap on per-job deadlines (0 = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain may take before in-flight work is cancelled")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logFormat    = flag.String("log-format", "text", "log encoding: text | json")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintln(os.Stderr, "unknown log level", *logLevel)
+		os.Exit(1)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown log format", *logFormat)
+		os.Exit(1)
+	}
+	logger := slog.New(handler)
 
 	var sc experiments.Scale
 	switch *scale {
@@ -70,7 +103,11 @@ func main() {
 		sc.Measure = *measure
 	}
 
-	logger := log.New(os.Stderr, "ipcpd: ", log.LstdFlags)
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+
 	srv, err := serve.New(serve.Options{
 		Scale:      sc,
 		CacheDir:   *cacheDir,
@@ -80,17 +117,42 @@ func main() {
 		Log:        logger,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	// The resolved address goes to stdout so scripts driving an
 	// ephemeral port (-addr 127.0.0.1:0) can find the server.
 	fmt.Printf("ipcpd listening on http://%s\n", ln.Addr())
-	logger.Printf("serving on http://%s (scale %s, queue %d)", ln.Addr(), *scale, *queueSize)
+	build := srv.Build()
+	logger.Info("serving",
+		"addr", "http://"+ln.Addr().String(), "scale", *scale, "queue", *queueSize,
+		"revision", build.Revision, "go", build.GoVersion)
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling exposure is an
+		// explicit, separately-bindable decision (e.g. localhost-only
+		// while the API faces the network).
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("pprof serving", "addr", "http://"+dln.Addr().String()+"/debug/pprof/")
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				logger.Error("pprof server stopped", "err", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -101,9 +163,9 @@ func main() {
 
 	select {
 	case err := <-errc:
-		logger.Fatal(err)
+		fatal(err)
 	case sig := <-sigc:
-		logger.Printf("%s: draining (in-flight jobs finish; new submissions get 429)", sig)
+		logger.Info("signal received, draining", "signal", sig.String())
 	}
 
 	// Drain while the listener keeps answering: pollers see their jobs
@@ -117,8 +179,8 @@ func main() {
 	}
 	srv.Close()
 	if drainErr != nil {
-		logger.Printf("drain incomplete: %v (in-flight work cancelled)", drainErr)
+		logger.Error("drain incomplete, in-flight work cancelled", "err", drainErr)
 		os.Exit(1)
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }

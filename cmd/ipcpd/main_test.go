@@ -5,11 +5,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -108,18 +111,207 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestObsSmoke is the end-to-end observability exercise behind `make
+// obs-smoke`: boot the real binary with JSON debug logs and a pprof
+// listener, submit a run tagged X-Request-ID: demo, watch its live
+// progress, then demand the id back on the response header, the
+// structured logs, and the Chrome trace; scrape Prometheus metrics with
+// the split latency histograms; hit buildinfo and pprof.
+func TestObsSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "ipcpd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building ipcpd: %v\n%s", err, out)
+	}
+	d := startDaemonCapture(t, bin, []string{
+		"-addr", "127.0.0.1:0", "-scale", "quick",
+		"-measure", "3000000", "-warmup", "10000",
+		"-log-format", "json", "-log-level", "debug",
+		"-debug-addr", "127.0.0.1:0",
+	}, true)
+
+	// Submit with a caller-chosen correlation id.
+	req, err := http.NewRequest(http.MethodPost, d.base+"/v1/runs",
+		strings.NewReader(`{"workloads":["mcf-994"],"l1d":"ipcp","l2":"ipcp"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "demo")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "demo" {
+		t.Errorf("response X-Request-ID = %q, want demo", got)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Live progress: some report with retired instructions must surface
+	// before (or at) completion.
+	deadline := time.Now().Add(60 * time.Second)
+	sawProgress := false
+	for time.Now().Before(deadline) {
+		var p struct {
+			Status  string `json:"status"`
+			Phase   string `json:"phase"`
+			Retired uint64 `json:"retired"`
+		}
+		getJSON(t, d.base+"/v1/runs/"+sub.ID+"/progress", &p)
+		if p.Retired > 0 && (p.Phase == "warmup" || p.Phase == "measure") {
+			sawProgress = true
+		}
+		if p.Status == "done" || p.Status == "failed" {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !sawProgress {
+		t.Error("no live progress report ever surfaced")
+	}
+	waitState(t, d.base, sub.ID, "done", 60*time.Second)
+
+	// The per-job Chrome trace carries the request id through every hop.
+	traceBody := getBody(t, d.base+"/v1/runs/"+sub.ID+"/trace", nil)
+	for _, needle := range []string{"queue.wait", "session.run", "sim.warmup", "sim.measure", `"request_id": "demo"`} {
+		if !strings.Contains(traceBody, needle) {
+			t.Errorf("job trace lacks %q", needle)
+		}
+	}
+	if body := getBody(t, d.base+"/debug/trace", nil); !strings.Contains(body, "traceEvents") {
+		t.Errorf("daemon-wide trace looks wrong: %.120s", body)
+	}
+
+	// Prometheus exposition with the split histograms.
+	promBody := getBody(t, d.base+"/metrics", map[string]string{"Accept": "text/plain"})
+	for _, needle := range []string{
+		"# TYPE ipcpd_job_queue_wait_seconds histogram",
+		"# TYPE ipcpd_job_execution_seconds histogram",
+		`ipcpd_jobs_total{outcome="completed"} 1`,
+		"ipcpd_build_info{",
+	} {
+		if !strings.Contains(promBody, needle) {
+			t.Errorf("prometheus exposition lacks %q", needle)
+		}
+	}
+
+	var bi struct {
+		GoVersion string `json:"go_version"`
+		Revision  string `json:"vcs_revision"`
+	}
+	getJSON(t, d.base+"/v1/buildinfo", &bi)
+	if !strings.HasPrefix(bi.GoVersion, "go") || bi.Revision == "" {
+		t.Errorf("buildinfo = %+v", bi)
+	}
+
+	// pprof answers on its own listener, announced in the logs.
+	logs := d.stderr.String()
+	m := regexp.MustCompile(`http://127\.0\.0\.1:\d+/debug/pprof/`).FindString(logs)
+	if m == "" {
+		t.Fatalf("pprof address never logged:\n%s", logs)
+	}
+	mustGet(t, m, http.StatusOK)
+	mustGet(t, strings.TrimSuffix(m, "/")+"/cmdline", http.StatusOK)
+
+	// Structured logs: JSON lines, and the job lifecycle carries the id.
+	sawCorrelated := false
+	sc := bufio.NewScanner(strings.NewReader(logs))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var entry map[string]any
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("stderr line is not JSON: %q", line)
+		}
+		if entry["request_id"] == "demo" && entry["job_id"] == sub.ID {
+			sawCorrelated = true
+		}
+	}
+	if !sawCorrelated {
+		t.Errorf("no log line correlates request demo with job %s:\n%s", sub.ID, logs)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.wait(60 * time.Second); err != nil {
+		t.Fatalf("drain was not clean: %v", err)
+	}
+}
+
+// getBody fetches a URL (with optional headers) and returns the body.
+func getBody(t *testing.T, url string, headers map[string]string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d (%s)", url, resp.StatusCode, buf.Bytes())
+	}
+	return buf.String()
+}
+
 type daemon struct {
-	cmd  *exec.Cmd
-	base string
-	done chan error
+	cmd    *exec.Cmd
+	base   string
+	done   chan error
+	stderr *lockedBuffer // non-nil when the caller captures logs
+}
+
+// lockedBuffer is a concurrency-safe sink for the child's stderr: the
+// pipe goroutine writes while the test reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // startDaemon launches the binary and parses the ephemeral address off
 // stdout. The process is killed at test cleanup if still alive.
 func startDaemon(t *testing.T, bin string, args []string) *daemon {
+	return startDaemonCapture(t, bin, args, false)
+}
+
+// startDaemonCapture optionally tees the daemon's stderr into a buffer
+// the test can inspect (structured-log assertions).
+func startDaemonCapture(t *testing.T, bin string, args []string, capture bool) *daemon {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
-	cmd.Stderr = os.Stderr
+	var logBuf *lockedBuffer
+	if capture {
+		logBuf = &lockedBuffer{}
+		cmd.Stderr = io.MultiWriter(os.Stderr, logBuf)
+	} else {
+		cmd.Stderr = os.Stderr
+	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -140,7 +332,7 @@ func startDaemon(t *testing.T, bin string, args []string) *daemon {
 	if addr == "" {
 		t.Fatalf("daemon never announced its address: %v", sc.Err())
 	}
-	d := &daemon{cmd: cmd, base: addr, done: make(chan error, 1)}
+	d := &daemon{cmd: cmd, base: addr, done: make(chan error, 1), stderr: logBuf}
 	go func() {
 		// Drain the rest of stdout so the child never blocks on a full
 		// pipe, then reap it.

@@ -17,11 +17,13 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"ipcp/internal/prefetch"
 	"ipcp/internal/sim"
+	"ipcp/internal/telemetry"
 	"ipcp/internal/trace"
 	"ipcp/internal/workload"
 
@@ -326,8 +328,15 @@ func (s *Session) Run(spec RunSpec) (*sim.Result, error) {
 // when either one is. Concurrent calls with the same spec key are
 // single-flight: the first caller executes and the rest wait for its
 // outcome, so N identical submissions cost one simulation.
+//
+// A telemetry.SpanTracer in ctx gets one "session.run" span per call
+// whose "outcome" attribute records how the run was satisfied —
+// memo-hit, coalesced, disk-hit or executed — plus admission and
+// checkpoint child spans on the paths that have them.
 func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*sim.Result, error) {
 	k := spec.Key()
+	ctx, span := telemetry.StartSpan(ctx, "session.run")
+	defer span.End()
 	for {
 		s.mu.Lock()
 		if o, ok := s.cache[k]; ok {
@@ -335,11 +344,13 @@ func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*sim.Result, er
 			case <-o.done: // resolved: a plain memo hit
 				s.memoHits++
 				s.mu.Unlock()
+				span.SetAttr("outcome", "memo-hit")
 				return o.res, o.err
 			default: // in flight: coalesce onto the leader
 			}
 			s.coalesced++
 			s.mu.Unlock()
+			span.SetAttr("outcome", "coalesced")
 			select {
 			case <-o.done:
 			case <-ctx.Done():
@@ -361,14 +372,15 @@ func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*sim.Result, er
 		o := &outcome{done: make(chan struct{})}
 		s.cache[k] = o
 		s.mu.Unlock()
-		return s.lead(ctx, spec, k, o)
+		return s.lead(ctx, spec, k, o, span)
 	}
 }
 
 // lead resolves an in-flight cache entry as its leader: it loads or
 // executes the run, publishes the outcome, and wakes every coalesced
-// waiter. Exactly one goroutine leads each in-flight entry.
-func (s *Session) lead(ctx context.Context, spec RunSpec, k string, o *outcome) (*sim.Result, error) {
+// waiter. Exactly one goroutine leads each in-flight entry. span is the
+// caller's session.run span; lead stamps the outcome onto it.
+func (s *Session) lead(ctx context.Context, spec RunSpec, k string, o *outcome, span *telemetry.ActiveSpan) (*sim.Result, error) {
 	resolve := func(res *sim.Result, err error) (*sim.Result, error) {
 		s.mu.Lock()
 		o.res, o.err = res, err
@@ -389,19 +401,28 @@ func (s *Session) lead(ctx context.Context, spec RunSpec, k string, o *outcome) 
 		return resolve(nil, err)
 	}
 	if s.disk != nil {
-		if res, ok := s.disk.load(s.diskKey(k), k); ok {
+		_, lsp := telemetry.StartSpan(ctx, "checkpoint.load")
+		res, ok := s.disk.load(s.diskKey(k), k)
+		lsp.SetAttr("hit", strconv.FormatBool(ok))
+		lsp.End()
+		if ok {
 			s.mu.Lock()
 			s.diskHits++
 			s.mu.Unlock()
+			span.SetAttr("outcome", "disk-hit")
 			return resolve(res, nil)
 		}
 	}
+	span.SetAttr("outcome", "executed")
 	res, err := s.execute(ctx, spec)
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		return resolve(nil, err)
 	}
 	if s.disk != nil {
+		_, ssp := telemetry.StartSpan(ctx, "checkpoint.save")
 		s.disk.store(s.diskKey(k), k, res)
+		ssp.End()
 	}
 	return resolve(res, nil)
 }
@@ -469,11 +490,17 @@ func (s *Session) execute(ctx context.Context, spec RunSpec) (res *sim.Result, e
 	// The concurrency cap is enforced here — the one place every
 	// simulation passes through — so direct Run calls, the multicore
 	// helpers and the serve layer all honor it, not just RunAllPartial.
+	// The admission span makes NumCPU-saturation waits visible in a
+	// job's trace next to its queue wait.
+	_, adm := telemetry.StartSpan(runCtx, "session.admission")
 	select {
 	case s.sem <- struct{}{}:
 	case <-runCtx.Done():
+		adm.SetAttr("error", runCtx.Err().Error())
+		adm.End()
 		return nil, runCtx.Err()
 	}
+	adm.End()
 	defer func() { <-s.sem }()
 
 	s.mu.Lock()

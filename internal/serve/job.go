@@ -7,6 +7,7 @@ import (
 
 	"ipcp/internal/experiments"
 	"ipcp/internal/sim"
+	"ipcp/internal/telemetry"
 )
 
 // JobKind distinguishes the two job shapes ipcpd serves.
@@ -43,24 +44,29 @@ type JobEvent struct {
 // set before the job is published; everything below mu is the mutable
 // lifecycle, observed concurrently by workers, pollers and streamers.
 type Job struct {
-	ID      string
-	Kind    JobKind
-	Spec    experiments.RunSpec // KindRun
-	Req     *runRequest         // the wire form of Spec, echoed in views
-	ExpIDs  []string            // KindExperiments
-	Timeout time.Duration       // 0 = no per-job deadline
-	key     string              // coalescing key (KindRun only)
+	ID         string
+	Kind       JobKind
+	Spec       experiments.RunSpec // KindRun
+	Req        *runRequest         // the wire form of Spec, echoed in views
+	ExpIDs     []string            // KindExperiments
+	Timeout    time.Duration       // 0 = no per-job deadline
+	key        string              // coalescing key (KindRun only)
+	RequestID  string              // X-Request-ID of the submitting request
+	Revision   string              // daemon VCS revision, stamped at admission
+	parentSpan uint64              // submitting request's span, parents queue.wait
+	submitted  time.Time           // set once in newJob, before publication
 
-	mu        sync.Mutex
-	state     JobState
-	err       error
-	result    *sim.Result
-	report    *experiments.Report
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	events    []JobEvent
-	changed   chan struct{} // closed and replaced on every mutation
+	mu         sync.Mutex
+	state      JobState
+	err        error
+	result     *sim.Result
+	report     *experiments.Report
+	started    time.Time
+	finished   time.Time
+	events     []JobEvent
+	changed    chan struct{} // closed and replaced on every mutation
+	progress   telemetry.Progress
+	progressAt time.Time
 }
 
 func newJob(kind JobKind) *Job {
@@ -115,6 +121,24 @@ func (j *Job) finish(res *sim.Result, rep *experiments.Report, err error) {
 	j.mu.Unlock()
 }
 
+// setProgress records the latest simulation progress report. It is the
+// job's telemetry.ProgressFunc: called from the sim loop's existing
+// cancellation-check cadence, so a mutex here is off the hot path.
+// Streamers poll on a ticker instead of being woken per report.
+func (j *Job) setProgress(p telemetry.Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.progressAt = time.Now()
+	j.mu.Unlock()
+}
+
+// Progress returns the latest report and whether one has arrived yet.
+func (j *Job) Progress() (telemetry.Progress, time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.progress, j.progressAt, !j.progressAt.IsZero()
+}
+
 // Err returns the job's terminal error (nil while non-terminal or on
 // success).
 func (j *Job) Err() error {
@@ -156,6 +180,8 @@ type jobView struct {
 	Report    *reportView `json:"report,omitempty"`
 	Spec      *runRequest `json:"spec,omitempty"`
 	ExpIDs    []string    `json:"experiment_ids,omitempty"`
+	RequestID string      `json:"request_id,omitempty"`
+	Revision  string      `json:"revision,omitempty"`
 }
 
 // reportView is the JSON shape of a completed experiments job.
@@ -181,6 +207,8 @@ func (j *Job) view() jobView {
 		Result:    j.result,
 		ExpIDs:    j.ExpIDs,
 		Spec:      j.Req,
+		RequestID: j.RequestID,
+		Revision:  j.Revision,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -182,6 +182,9 @@ func TestSubmitPollComplete(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
 			t.Fatalf("bad event line %q: %v", sc.Text(), err)
 		}
+		if e.Kind == "progress" {
+			continue
+		}
 		kinds = append(kinds, e.Kind)
 	}
 	if want := []string{"queued", "started", "done"}; fmt.Sprint(kinds) != fmt.Sprint(want) {
@@ -426,16 +429,22 @@ func TestEventsFollowLiveJob(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
+	// read returns the next lifecycle event, skipping any live
+	// "progress" lines the stream folds in while the job runs.
 	read := func() JobEvent {
 		t.Helper()
-		if !sc.Scan() {
-			t.Fatalf("event stream ended early: %v", sc.Err())
+		for sc.Scan() {
+			var e JobEvent
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Kind == "progress" {
+				continue
+			}
+			return e
 		}
-		var e JobEvent
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			t.Fatal(err)
-		}
-		return e
+		t.Fatalf("event stream ended early: %v", sc.Err())
+		return JobEvent{}
 	}
 	if e := read(); e.Kind != "queued" {
 		t.Fatalf("first event = %+v", e)

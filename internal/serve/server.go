@@ -10,13 +10,22 @@
 // Everything is stdlib net/http; the API surface is small and
 // versioned under /v1:
 //
-//	POST /v1/runs             submit one simulation (RunSpec shape)
-//	GET  /v1/runs/{id}        job status, result when done
-//	GET  /v1/runs/{id}/events streamed JSONL progress
-//	POST /v1/experiments      run named paper experiments
-//	GET  /v1/experiments      list experiment ids
-//	GET  /healthz             liveness (503 while draining)
-//	GET  /metrics             queue/cache/latency counters (JSON)
+// Every request is correlated: an X-Request-ID (client-supplied or
+// minted) is echoed on the response, attached to every structured log
+// line, carried through context into the session and simulator, and
+// stamped on every span the request produces.
+//
+//	POST /v1/runs               submit one simulation (RunSpec shape)
+//	GET  /v1/runs/{id}          job status, result when done
+//	GET  /v1/runs/{id}/events   streamed JSONL progress + events
+//	GET  /v1/runs/{id}/progress latest simulation progress report
+//	GET  /v1/runs/{id}/trace    Chrome trace_event JSON for one job
+//	POST /v1/experiments        run named paper experiments
+//	GET  /v1/experiments        list experiment ids
+//	GET  /v1/buildinfo          binary version/revision/toolchain
+//	GET  /healthz               liveness (503 while draining)
+//	GET  /metrics               counters (JSON, or Prometheus text via Accept)
+//	GET  /debug/trace           Chrome trace_event JSON, daemon-wide
 package serve
 
 import (
@@ -25,7 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -57,9 +66,14 @@ type Options struct {
 	// JobTimeout caps every job's per-request timeout_ms; 0 means
 	// requests may run unbounded.
 	JobTimeout time.Duration
-	// Log receives operational one-liners (admissions, completions,
-	// drain). Nil discards.
-	Log *log.Logger
+	// Log receives structured operational logs (admissions, completions,
+	// drain) with request_id/job_id/kind/duration attributes. Nil
+	// discards.
+	Log *slog.Logger
+	// SpanBuf bounds the in-memory span ring backing /debug/trace
+	// (default telemetry.DefaultSpanCapacity). Oldest spans are
+	// overwritten, never blocked on.
+	SpanBuf int
 }
 
 // Server owns the session, the job queue and the worker pool. Create
@@ -69,7 +83,9 @@ type Server struct {
 	session *experiments.Session
 	ctx     context.Context
 	cancel  context.CancelFunc
-	log     *log.Logger
+	log     *slog.Logger
+	spans   *telemetry.SpanTracer
+	build   BuildInfo
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -86,7 +102,9 @@ type Server struct {
 	coalesced telemetry.Counter
 	completed telemetry.Counter
 	failed    telemetry.Counter
-	latency   *telemetry.Histogram
+	queueWait *telemetry.Histogram // admission → worker pickup
+	execution *telemetry.Histogram // worker pickup → finish
+	latency   *telemetry.Histogram // admission → finish (end to end)
 }
 
 // New builds a Server and starts its worker pool.
@@ -101,7 +119,10 @@ func New(opts Options) (*Server, error) {
 		opts.Workers = runtime.NumCPU()
 	}
 	if opts.Log == nil {
-		opts.Log = log.New(io.Discard, "", 0)
+		opts.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if opts.SpanBuf <= 0 {
+		opts.SpanBuf = telemetry.DefaultSpanCapacity
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	session := experiments.NewSessionContext(ctx, opts.Scale)
@@ -112,15 +133,19 @@ func New(opts Options) (*Server, error) {
 		}
 	}
 	s := &Server{
-		opts:    opts,
-		session: session,
-		ctx:     ctx,
-		cancel:  cancel,
-		log:     opts.Log,
-		jobs:    make(map[string]*Job),
-		byKey:   make(map[string]*Job),
-		queue:   make(chan *Job, opts.QueueSize),
-		latency: telemetry.NewHistogram(),
+		opts:      opts,
+		session:   session,
+		ctx:       ctx,
+		cancel:    cancel,
+		log:       opts.Log,
+		spans:     telemetry.NewSpanTracer(opts.SpanBuf),
+		build:     ReadBuildInfo(),
+		jobs:      make(map[string]*Job),
+		byKey:     make(map[string]*Job),
+		queue:     make(chan *Job, opts.QueueSize),
+		queueWait: telemetry.NewHistogram(),
+		execution: telemetry.NewHistogram(),
+		latency:   telemetry.NewHistogram(),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -131,6 +156,12 @@ func New(opts Options) (*Server, error) {
 
 // Session exposes the underlying experiments session (metrics, tests).
 func (s *Server) Session() *experiments.Session { return s.session }
+
+// Spans exposes the daemon-wide span ring (trace endpoints, tests).
+func (s *Server) Spans() *telemetry.SpanTracer { return s.spans }
+
+// Build returns the daemon's build identification.
+func (s *Server) Build() BuildInfo { return s.build }
 
 // Draining reports whether admission has been closed.
 func (s *Server) Draining() bool {
@@ -146,7 +177,7 @@ func (s *Server) StartDrain() {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
-		s.log.Printf("serve: draining (queue closed, admission off)")
+		s.log.Info("draining", "queue_depth", len(s.queue))
 	}
 	s.mu.Unlock()
 }
@@ -213,20 +244,27 @@ func (s *Server) submit(j *Job) (*Job, bool, error) {
 			return exist, true, nil
 		}
 	}
+	// Identity must be stamped before the channel send: the send is the
+	// happens-before edge to the worker, so a field written after it
+	// races with the worker reading the job.
+	s.seq++
+	j.ID = fmt.Sprintf("j%06d", s.seq)
+	j.Revision = s.build.Revision
 	select {
 	case s.queue <- j:
 	default:
+		s.seq--
 		s.rejected.Inc()
 		return nil, false, errQueueFull
 	}
-	s.seq++
-	j.ID = fmt.Sprintf("j%06d", s.seq)
 	s.jobs[j.ID] = j
 	if j.Kind == KindRun {
 		s.byKey[j.key] = j
 	}
 	s.admitted.Inc()
-	s.log.Printf("serve: admitted %s (%s)", j.ID, j.Kind)
+	s.log.Info("job admitted",
+		"job_id", j.ID, "kind", string(j.Kind), "request_id", j.RequestID,
+		"queue_depth", len(s.queue))
 	return j, false, nil
 }
 
@@ -256,11 +294,35 @@ func (s *Server) runJob(j *Job) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	start := time.Now()
+	wait := start.Sub(j.submitted)
+	s.queueWait.Observe(wait.Seconds())
+	// The queue wait already happened by the time a worker sees the job,
+	// so its span is emitted retroactively, parented to the submitting
+	// HTTP request's span to bridge the async boundary.
+	s.spans.Emit(telemetry.Span{
+		Name:      "queue.wait",
+		Parent:    j.parentSpan,
+		RequestID: j.RequestID,
+		JobID:     j.ID,
+		Start:     j.submitted,
+		Dur:       wait,
+	})
 	j.begin()
 
-	ctx, cancel := s.ctx, context.CancelFunc(func() {})
+	// Rebuild the request's correlation on the worker's context: the
+	// span tracer, request id, job id and parent span flow from here
+	// through the session into the simulator's phase spans, and the
+	// progress sink routes live simulation progress back onto the job.
+	ctx := telemetry.ContextWithSpanTracer(s.ctx, s.spans)
+	ctx = telemetry.ContextWithRequestID(ctx, j.RequestID)
+	ctx = telemetry.ContextWithJobID(ctx, j.ID)
+	ctx = telemetry.ContextWithParentSpan(ctx, j.parentSpan)
+	ctx = telemetry.ContextWithProgress(ctx, j.setProgress)
+	ctx, jobSpan := telemetry.StartSpan(ctx, "job."+string(j.Kind))
+
+	cancel := context.CancelFunc(func() {})
 	if j.Timeout > 0 {
-		ctx, cancel = context.WithTimeout(s.ctx, j.Timeout)
+		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
 	}
 	defer cancel()
 
@@ -286,10 +348,17 @@ func (s *Server) runJob(j *Job) {
 		j.finish(nil, rep, err)
 	}
 
-	s.latency.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	s.execution.Observe(elapsed.Seconds())
+	s.latency.Observe(time.Since(j.submitted).Seconds())
 	if err := j.Err(); err != nil {
+		jobSpan.SetAttr("outcome", "failed")
+		jobSpan.SetAttr("error", err.Error())
+		jobSpan.End()
 		s.failed.Inc()
-		s.log.Printf("serve: %s failed after %.2fs: %v", j.ID, time.Since(start).Seconds(), err)
+		s.log.Error("job failed",
+			"job_id", j.ID, "kind", string(j.Kind), "request_id", j.RequestID,
+			"queue_wait", wait, "duration", elapsed, "err", err)
 		// A cancelled/timed-out run is not memoized by the session, so
 		// don't pin later identical submissions to this dead job.
 		if j.Kind == KindRun && interrupted(err) {
@@ -301,8 +370,12 @@ func (s *Server) runJob(j *Job) {
 		}
 		return
 	}
+	jobSpan.SetAttr("outcome", "done")
+	jobSpan.End()
 	s.completed.Inc()
-	s.log.Printf("serve: %s done in %.2fs", j.ID, time.Since(start).Seconds())
+	s.log.Info("job done",
+		"job_id", j.ID, "kind", string(j.Kind), "request_id", j.RequestID,
+		"queue_wait", wait, "duration", elapsed)
 }
 
 func firstNonNil(errs ...error) error {
@@ -386,17 +459,22 @@ type submitView struct {
 	Coalesced bool     `json:"coalesced,omitempty"`
 }
 
-// Handler returns the daemon's HTTP handler.
+// Handler returns the daemon's HTTP handler, wrapped in the
+// observability middleware (request ids, spans, access log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleJobProgress)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmitExperiments)
 	mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	mux.HandleFunc("GET /v1/buildinfo", s.handleBuildinfo)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -441,12 +519,15 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	j.Req = &req
 	j.Timeout = s.timeout(req.TimeoutMS)
 	j.key = j.Spec.Key()
+	j.RequestID = telemetry.RequestIDFrom(r.Context())
+	j.parentSpan = httpSpan(r.Context()).ID()
 
 	admitted, coalesced, err := s.submit(j)
 	if err != nil {
 		writeAdmissionError(w, err)
 		return
 	}
+	httpSpan(r.Context()).SetJobID(admitted.ID)
 	code := http.StatusAccepted
 	if coalesced {
 		code = http.StatusOK
@@ -486,12 +567,15 @@ func (s *Server) handleSubmitExperiments(w http.ResponseWriter, r *http.Request)
 	j := newJob(KindExperiments)
 	j.ExpIDs = ids
 	j.Timeout = s.timeout(req.TimeoutMS)
+	j.RequestID = telemetry.RequestIDFrom(r.Context())
+	j.parentSpan = httpSpan(r.Context()).ID()
 
 	admitted, _, err := s.submit(j)
 	if err != nil {
 		writeAdmissionError(w, err)
 		return
 	}
+	httpSpan(r.Context()).SetJobID(admitted.ID)
 	writeJSON(w, http.StatusAccepted, submitView{
 		ID:       admitted.ID,
 		Status:   admitted.State(),
@@ -508,8 +592,42 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
-// handleJobEvents streams a job's progress as JSONL, following until
-// the job reaches a terminal state or the client goes away.
+// progressLine is the JSONL rendering of a live progress report, both
+// folded into the events follow-stream (kind "progress") and returned
+// by GET /v1/runs/{id}/progress.
+type progressLine struct {
+	Kind    string    `json:"kind"`
+	Time    time.Time `json:"time"`
+	Phase   string    `json:"phase"`
+	Retired uint64    `json:"retired"`
+	Target  uint64    `json:"target"`
+	Percent float64   `json:"percent"`
+	Cycle   int64     `json:"cycle"`
+}
+
+func newProgressLine(p telemetry.Progress, at time.Time) progressLine {
+	l := progressLine{
+		Kind: "progress", Time: at,
+		Phase: p.Phase, Retired: p.Retired, Target: p.Target, Cycle: p.Cycle,
+	}
+	if p.Target > 0 {
+		l.Percent = 100 * float64(p.Retired) / float64(p.Target)
+		if l.Percent > 100 {
+			l.Percent = 100
+		}
+	}
+	return l
+}
+
+// progressTick is how often the events follow-stream samples the job's
+// live simulation progress between lifecycle events.
+const progressTick = 250 * time.Millisecond
+
+// handleJobEvents streams a job's lifecycle events as JSONL, following
+// until the job reaches a terminal state or the client goes away. While
+// the job runs, live simulation progress is folded into the stream as
+// lines with kind "progress", sampled on a ticker rather than per
+// report.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
@@ -520,7 +638,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(progressTick)
+	defer ticker.Stop()
 	next := 0
+	var lastProgress time.Time
 	for {
 		events, changed, terminal := j.eventsSince(next)
 		for _, e := range events {
@@ -537,11 +658,62 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-changed:
+		case <-ticker.C:
+			if p, at, ok := j.Progress(); ok && at.After(lastProgress) {
+				lastProgress = at
+				if err := enc.Encode(newProgressLine(p, at)); err != nil {
+					return
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
 		case <-r.Context().Done():
 			return
 		case <-s.ctx.Done():
 			return
 		}
+	}
+}
+
+// handleJobProgress returns the job's latest simulation progress report
+// (zero-valued until the simulator's first report arrives).
+func (s *Server) handleJobProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	p, at, _ := j.Progress()
+	line := newProgressLine(p, at)
+	writeJSON(w, http.StatusOK, struct {
+		ID     string   `json:"id"`
+		Status JobState `json:"status"`
+		progressLine
+	}{ID: j.ID, Status: j.State(), progressLine: line})
+}
+
+// handleJobTrace exports the job's spans (HTTP submit, queue wait,
+// session, checkpoint and simulation phases) as Chrome trace_event
+// JSON — loadable in chrome://tracing or Perfetto.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.spans.WriteChromeTrace(w, j.ID); err != nil {
+		s.log.Debug("trace export aborted", "job_id", j.ID, "err", err)
+	}
+}
+
+// handleDebugTrace exports the daemon-wide span ring as Chrome
+// trace_event JSON, one lane per job plus a daemon lane.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.spans.WriteChromeTrace(w, ""); err != nil {
+		s.log.Debug("trace export aborted", "err", err)
 	}
 }
 
@@ -593,8 +765,12 @@ type MetricsSnapshot struct {
 		Faults    int `json:"faults"`
 	} `json:"session"`
 
-	// JobLatency is the end-to-end job latency histogram in seconds
-	// (queued jobs excluded until they finish).
+	// QueueWait is admission → worker pickup, Execution is pickup →
+	// finish, and JobLatency is the end-to-end sum of the two — all in
+	// seconds, observed when the respective boundary is crossed. The
+	// split tells queue backpressure apart from slow simulations.
+	QueueWait  telemetry.HistogramSnapshot `json:"queue_wait_s"`
+	Execution  telemetry.HistogramSnapshot `json:"execution_s"`
 	JobLatency telemetry.HistogramSnapshot `json:"job_latency_s"`
 }
 
@@ -616,10 +792,21 @@ func (s *Server) Metrics() MetricsSnapshot {
 	m.Session.DiskHits = st.DiskHits
 	m.Session.Coalesced = st.Coalesced
 	m.Session.Faults = st.Faults
+	m.QueueWait = s.queueWait.Snapshot()
+	m.Execution = s.execution.Snapshot()
 	m.JobLatency = s.latency.Snapshot()
 	return m
 }
 
+// handleMetrics negotiates the representation: scrapers asking for the
+// text exposition formats get Prometheus 0.0.4 text; everything else
+// (curl, the CLI, existing tooling) keeps the JSON snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		s.writePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
 }

@@ -566,7 +566,33 @@ const cancelCheckInterval = 4096
 // checks ctx every few thousand cycles and returns ctx's error when it
 // is cancelled, after closing any open interval-metrics sample so
 // flushed telemetry stays consistent.
-func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Result, error) {
+//
+// RunContext is also the simulator's serving-side observability seam:
+// a telemetry.ProgressFunc in ctx receives phase/retired/target reports
+// at the cancellation-check cadence, and a telemetry.SpanTracer in ctx
+// gets one span per phase (sim.warmup, sim.measure). Both ride the
+// existing per-few-thousand-cycles branch, so a context carrying
+// neither costs the cycle loop nothing.
+func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (res *Result, err error) {
+	progress := telemetry.ProgressFrom(ctx)
+	report := func(phase string, target uint64) {
+		if progress != nil {
+			progress(telemetry.Progress{
+				Phase: phase, Retired: s.minRetired(), Target: target, Cycle: s.cycle,
+			})
+		}
+	}
+	// One span per phase; the deferred End closes whichever phase a
+	// cancellation or cycle-limit error leaves open (End on an ended or
+	// nil span no-ops).
+	var phaseSpan *telemetry.ActiveSpan
+	defer func() {
+		if err != nil {
+			phaseSpan.SetAttr("error", err.Error())
+		}
+		phaseSpan.End()
+	}()
+
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles == 0 {
 		// A generous bound: no workload should average > 500
@@ -577,6 +603,8 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 	nextCancel := s.cycle
 
 	// Warmup.
+	_, phaseSpan = telemetry.StartSpan(ctx, "sim.warmup")
+	report("warmup", warmup)
 	for !s.allRetired(warmup) {
 		if s.cycle >= deadline {
 			return nil, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
@@ -586,6 +614,7 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("sim: warmup cancelled at cycle %d: %w", s.cycle, err)
 			}
+			report("warmup", warmup)
 		}
 		s.step()
 		// The retirement check must see the exact post-step cycle, so
@@ -596,7 +625,10 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 	}
 	s.resetStats()
 	start := s.cycle
+	phaseSpan.End()
 
+	_, phaseSpan = telemetry.StartSpan(ctx, "sim.measure")
+	report("measure", measure)
 	finish := make([]int64, s.cfg.Cores)
 	done := 0
 	for done < s.cfg.Cores {
@@ -613,6 +645,7 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 				}
 				return nil, fmt.Errorf("sim: measurement cancelled at cycle %d: %w", s.cycle, err)
 			}
+			report("measure", measure)
 		}
 		s.step()
 		for i, c := range s.cores {
@@ -628,6 +661,9 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 		}
 	}
 
+	report("measure", measure)
+	phaseSpan.End()
+
 	// Close the last (partial) interval so the timeline's deltas sum
 	// exactly to the end-of-run totals.
 	if s.sampling {
@@ -635,7 +671,7 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (*Resul
 		s.sampling = false
 	}
 
-	res := &Result{
+	res = &Result{
 		Cores:            s.cfg.Cores,
 		Instructions:     measure,
 		CyclesPerCore:    make([]int64, s.cfg.Cores),
@@ -683,6 +719,19 @@ func (s *System) allRetired(n uint64) bool {
 		}
 	}
 	return true
+}
+
+// minRetired is the slowest core's retired-instruction count — the
+// number that gates phase completion, and therefore the honest
+// "progress so far" figure.
+func (s *System) minRetired() uint64 {
+	min := uint64(math.MaxUint64)
+	for _, c := range s.cores {
+		if r := c.Retired(); r < min {
+			min = r
+		}
+	}
+	return min
 }
 
 // Advance runs the system until every core has retired n further

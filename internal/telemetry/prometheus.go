@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the serving
+// metrics. Each metric type knows how to render itself as one family;
+// callers composing labeled families (one name, several label sets)
+// write the header once with WritePrometheusHeader and the samples
+// themselves.
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format this file emits.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheusHeader writes one family's # HELP / # TYPE preamble.
+// typ is one of "counter", "gauge", "histogram", "untyped".
+func WritePrometheusHeader(w io.Writer, name, typ, help string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// promFloat renders a float the way Prometheus clients expect: shortest
+// round-trip decimal, +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheusValue writes a complete single-sample family.
+func WritePrometheusValue(w io.Writer, name, typ, help string, v float64) error {
+	if err := WritePrometheusHeader(w, name, typ, help); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", name, promFloat(v))
+	return err
+}
+
+// WritePrometheus renders the counter as one family.
+func (c *Counter) WritePrometheus(w io.Writer, name, help string) error {
+	return WritePrometheusValue(w, name, "counter", help, float64(c.Value()))
+}
+
+// WritePrometheus renders the gauge as one family.
+func (g *Gauge) WritePrometheus(w io.Writer, name, help string) error {
+	return WritePrometheusValue(w, name, "gauge", help, float64(g.Value()))
+}
+
+// WritePrometheus renders the histogram as one family: cumulative
+// _bucket{le="..."} samples (including the mandatory le="+Inf"), _sum,
+// and _count.
+func (h *Histogram) WritePrometheus(w io.Writer, name, help string) error {
+	s := h.Snapshot()
+	return s.WritePrometheus(w, name, help)
+}
+
+// WritePrometheus renders a captured snapshot (same output as
+// Histogram.WritePrometheus; split out so a consistent snapshot can be
+// rendered alongside its JSON form).
+func (s HistogramSnapshot) WritePrometheus(w io.Writer, name, help string) error {
+	if err := WritePrometheusHeader(w, name, "histogram", help); err != nil {
+		return err
+	}
+	for _, b := range s.Buckets {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b.LE), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact exposition output for one counter,
+// one gauge, and one histogram — the wire format scrapers parse.
+func TestPrometheusGolden(t *testing.T) {
+	var c Counter
+	c.Add(42)
+	var g Gauge
+	g.Set(-7)
+	h := NewHistogram(0.1, 1, 10)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(99) // overflow bucket
+
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf, "ipcpd_jobs_admitted_total", "Jobs admitted."); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WritePrometheus(&buf, "ipcpd_queue_depth", "Queued jobs."); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WritePrometheus(&buf, "ipcpd_job_execution_seconds", "Job execution latency."); err != nil {
+		t.Fatal(err)
+	}
+
+	want := strings.Join([]string{
+		"# HELP ipcpd_jobs_admitted_total Jobs admitted.",
+		"# TYPE ipcpd_jobs_admitted_total counter",
+		"ipcpd_jobs_admitted_total 42",
+		"# HELP ipcpd_queue_depth Queued jobs.",
+		"# TYPE ipcpd_queue_depth gauge",
+		"ipcpd_queue_depth -7",
+		"# HELP ipcpd_job_execution_seconds Job execution latency.",
+		"# TYPE ipcpd_job_execution_seconds histogram",
+		`ipcpd_job_execution_seconds_bucket{le="0.1"} 1`,
+		`ipcpd_job_execution_seconds_bucket{le="1"} 2`,
+		`ipcpd_job_execution_seconds_bucket{le="10"} 3`,
+		`ipcpd_job_execution_seconds_bucket{le="+Inf"} 4`,
+		"ipcpd_job_execution_seconds_sum 101.55",
+		"ipcpd_job_execution_seconds_count 4",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// promLine matches the exposition grammar this package emits: comments
+// or `name{labels} value`.
+var promLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+)$`)
+
+// validatePrometheus scans an exposition body line by line against the
+// grammar (the serve tests carry their own copy).
+func validatePrometheus(t *testing.T, body []byte) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		n++
+		if !promLine.MatchString(line) {
+			t.Errorf("exposition line %d does not parse: %q", n, line)
+		}
+	}
+	if n == 0 {
+		t.Error("empty exposition body")
+	}
+}
+
+func TestPrometheusEmptyHistogram(t *testing.T) {
+	h := NewHistogram(1, 2)
+	var buf bytes.Buffer
+	if err := h.WritePrometheus(&buf, "m", ""); err != nil {
+		t.Fatal(err)
+	}
+	validatePrometheus(t, buf.Bytes())
+	if !strings.Contains(buf.String(), `m_bucket{le="+Inf"} 0`) || !strings.Contains(buf.String(), "m_count 0") {
+		t.Errorf("empty histogram exposition:\n%s", buf.String())
+	}
+}

@@ -212,6 +212,7 @@ type chromeEvent struct {
 	Name  string         `json:"name"`
 	Phase string         `json:"ph"`
 	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid,omitempty"`
 	Scope string         `json:"s,omitempty"`
