@@ -5,13 +5,13 @@ GO ?= go
 TRACKED_BENCH = SimulatorThroughput|Fig7$$|Fig8$$
 BENCH_FILE   = BENCH_throughput.json
 
-.PHONY: check build vet test determinism audit bench benchsmoke benchdiff fuzz serve-smoke obs-smoke
+.PHONY: check build vet test determinism audit bench benchsmoke benchdiff fuzz serve-smoke obs-smoke chaos-smoke
 
 # Tier-1 gate: everything must pass before a change lands. `test` runs
 # -race over every package — including the session-concurrency and
-# serve suites (internal/experiments, internal/serve); serve-smoke and
-# obs-smoke exercise the built ipcpd binary end to end.
-check: build vet test determinism audit fuzz serve-smoke obs-smoke
+# serve suites (internal/experiments, internal/serve); serve-smoke,
+# obs-smoke and chaos-smoke exercise the built ipcpd binary end to end.
+check: build vet test determinism audit fuzz serve-smoke obs-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -51,9 +51,12 @@ benchdiff:
 benchsmoke:
 	$(GO) test -bench . -benchtime=1x
 
-# Brief fuzz pass over the trace reader (longer runs: raise -fuzztime).
+# Brief fuzz passes (longer runs: raise -fuzztime): the trace reader,
+# and the checkpoint frame decoder that guards the result store against
+# torn/corrupt files. `go test -fuzz` takes one fuzz target per run.
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzReader$$' -fuzztime=10s
+	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime=10s
 
 # End-to-end daemon smoke: build the real ipcpd binary, boot it on an
 # ephemeral port with a cache dir, drive the API, SIGTERM it mid-job
@@ -68,3 +71,10 @@ serve-smoke:
 # the Chrome trace; scrape Prometheus metrics; hit buildinfo and pprof.
 obs-smoke:
 	$(GO) test ./cmd/ipcpd -run '^TestObsSmoke$$' -count=1 -v
+
+# End-to-end crash/recovery smoke: kill -9 the real daemon mid-burst
+# with a journal dir and demand zero acknowledged work lost on restart;
+# corrupt the checkpoint store and demand quarantine + recompute; crash
+# via injected fault (IPCPD_CHAOS) at the queue handoff and recover.
+chaos-smoke:
+	$(GO) test ./cmd/ipcpd -run '^TestChaosSmoke$$' -count=1 -v

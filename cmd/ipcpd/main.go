@@ -47,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"ipcp/internal/chaos"
 	"ipcp/internal/experiments"
 	"ipcp/internal/serve"
 )
@@ -61,6 +62,8 @@ func main() {
 		queueSize    = flag.Int("queue", 64, "bounded job backlog; a full queue rejects with 429")
 		workers      = flag.Int("workers", 0, "concurrent job runners (0 = NumCPU)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "cap on per-job deadlines (0 = unbounded)")
+		journalDir   = flag.String("journal-dir", "", "write-ahead journal every job here; on restart, acknowledged jobs are replayed (finished ones re-served, unfinished ones re-run)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "reap running jobs whose simulation progress stalls this long (0 = no watchdog)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain may take before in-flight work is cancelled")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 		logFormat    = flag.String("log-format", "text", "log encoding: text | json")
@@ -108,13 +111,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Fault injection (IPCPD_CHAOS / IPCPD_CHAOS_SEED) arms only when
+	// the environment asks for it; production pays one atomic load.
+	if _, err := chaos.EnableFromEnv(); err == nil {
+		logger.Warn("chaos injection armed", "spec", os.Getenv(chaos.EnvVar))
+	} else if err != chaos.ErrNotConfigured {
+		fatal(err)
+	}
+
 	srv, err := serve.New(serve.Options{
-		Scale:      sc,
-		CacheDir:   *cacheDir,
-		QueueSize:  *queueSize,
-		Workers:    *workers,
-		JobTimeout: *jobTimeout,
-		Log:        logger,
+		Scale:        sc,
+		CacheDir:     *cacheDir,
+		QueueSize:    *queueSize,
+		Workers:      *workers,
+		JobTimeout:   *jobTimeout,
+		JournalDir:   *journalDir,
+		StallTimeout: *stallTimeout,
+		Log:          logger,
 	})
 	if err != nil {
 		fatal(err)

@@ -301,10 +301,14 @@ func startDaemon(t *testing.T, bin string, args []string) *daemon {
 }
 
 // startDaemonCapture optionally tees the daemon's stderr into a buffer
-// the test can inspect (structured-log assertions).
-func startDaemonCapture(t *testing.T, bin string, args []string, capture bool) *daemon {
+// the test can inspect (structured-log assertions). Extra env entries
+// (KEY=VALUE) are appended to the inherited environment.
+func startDaemonCapture(t *testing.T, bin string, args []string, capture bool, env ...string) *daemon {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	var logBuf *lockedBuffer
 	if capture {
 		logBuf = &lockedBuffer{}

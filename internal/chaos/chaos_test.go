@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.At("anything"); err != nil {
+		t.Fatalf("nil injector At = %v", err)
+	}
+	var buf bytes.Buffer
+	if w := in.Writer("p", &buf); w != &buf {
+		t.Fatal("nil injector must return the writer unchanged")
+	}
+	Enable(nil)
+	if err := At("anything"); err != nil {
+		t.Fatalf("disabled package At = %v", err)
+	}
+}
+
+func TestErrRule(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Point: "p", Kind: KindErr, Err: syscall.ENOSPC})
+	err := in.At("p")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("At = %v, want ENOSPC", err)
+	}
+	if err := in.At("other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", in.Fired())
+	}
+}
+
+func TestAfterCount(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Point: "p", Kind: KindErr, After: 2})
+	if err := in.At("p"); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := in.At("p"); err != nil {
+		t.Fatalf("hit 2 fired early: %v", err)
+	}
+	if err := in.At("p"); err == nil {
+		t.Fatal("hit 3 did not fire")
+	}
+}
+
+func TestShortWriteLeavesPartialBytes(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Point: "w", Kind: KindShort})
+	var buf bytes.Buffer
+	w := in.Writer("w", &buf)
+	n, err := w.Write([]byte("0123456789"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write err = %v", err)
+	}
+	if n != 5 || buf.String() != "01234" {
+		t.Fatalf("short write left %d bytes %q, want half", n, buf.String())
+	}
+	// KindShort must not fire through At (it only makes sense on writes).
+	in2 := New(1)
+	in2.Add(Rule{Point: "p", Kind: KindShort})
+	if err := in2.At("p"); err != nil {
+		t.Fatalf("KindShort fired through At: %v", err)
+	}
+}
+
+func TestCrashFuncOverride(t *testing.T) {
+	in := New(1)
+	crashed := ""
+	in.SetCrashFunc(func(point string) { crashed = point })
+	in.Add(Rule{Point: "p", Kind: KindCrash})
+	if err := in.At("p"); err != nil {
+		t.Fatalf("crash rule returned error %v", err)
+	}
+	if crashed != "p" {
+		t.Fatalf("crash fn saw %q", crashed)
+	}
+}
+
+func TestSlowDelays(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Point: "p", Kind: KindSlow, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := in.At("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("slow rule only delayed %v", d)
+	}
+}
+
+func TestProbabilityRoughlyHolds(t *testing.T) {
+	in := New(42)
+	in.Add(Rule{Point: "p", Kind: KindErr, Prob: 0.5})
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if in.At("p") != nil {
+			fired++
+		}
+	}
+	if fired < 350 || fired > 650 {
+		t.Fatalf("p=0.5 fired %d/1000", fired)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("journal.append=crash:0.05,checkpoint.save=enospc:0.2,ckpt.write=short,journal.fsync=slow:1:20ms,x=eio:1:3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for point, want := range map[string]struct {
+		kind  Kind
+		prob  float64
+		after int
+	}{
+		"journal.append":  {KindCrash, 0.05, 0},
+		"checkpoint.save": {KindErr, 0.2, 0},
+		"ckpt.write":      {KindShort, 1, 0},
+		"journal.fsync":   {KindSlow, 1, 0},
+		"x":               {KindErr, 1, 3},
+	} {
+		rs := in.rules[point]
+		if len(rs) != 1 {
+			t.Fatalf("%s: %d rules", point, len(rs))
+		}
+		r := rs[0]
+		if r.Kind != want.kind || r.Prob != want.prob || r.After != want.after {
+			t.Errorf("%s parsed as %+v, want %+v", point, r, want)
+		}
+	}
+	if in.rules["journal.fsync"][0].Delay != 20*time.Millisecond {
+		t.Errorf("slow delay = %v", in.rules["journal.fsync"][0].Delay)
+	}
+
+	for _, bad := range []string{
+		"noequals", "p=", "p=warp", "p=eio:2", "p=eio:0", "p=slow:1:xyz",
+		"p=eio:1:-1", "p=eio:1:3:junk",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+
+	// Empty segments are tolerated (trailing commas from shell quoting).
+	if in, err := Parse("p=eio,,", 1); err != nil || len(in.rules) != 1 {
+		t.Errorf("trailing commas: %v %v", in, err)
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if _, err := EnableFromEnv(); !errors.Is(err, ErrNotConfigured) {
+		t.Fatalf("unset env = %v, want ErrNotConfigured", err)
+	}
+	t.Setenv(EnvVar, "p=eio")
+	t.Setenv(EnvSeed, "99")
+	in, err := EnableFromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { Enable(nil) })
+	if !Enabled() || Default() != in {
+		t.Fatal("EnableFromEnv did not install the injector")
+	}
+	if err := At("p"); err == nil || !strings.Contains(err.Error(), "chaos p") {
+		t.Fatalf("package At = %v", err)
+	}
+	t.Setenv(EnvSeed, "notanumber")
+	if _, err := EnableFromEnv(); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+}

@@ -1,41 +1,61 @@
 package experiments
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
+	"ipcp/internal/chaos"
 	"ipcp/internal/sim"
 )
 
-// diskCache is the Session's persistent checkpoint store: one JSON file
-// per simulation result, content-addressed by the SHA-256 of the run's
-// full identity (workload + configuration + scale). An interrupted or
-// crashed experiment invocation resumes by pointing a new session at
-// the same directory; completed runs load from disk and only the
-// missing ones recompute. Simulations are deterministic, so a resumed
-// session reproduces byte-identical tables.
+// diskCache is the Session's persistent checkpoint store: one framed
+// JSON file per simulation result, content-addressed by the SHA-256 of
+// the run's full identity (workload + configuration + scale). An
+// interrupted or crashed experiment invocation resumes by pointing a
+// new session at the same directory; completed runs load from disk and
+// only the missing ones recompute. Simulations are deterministic, so a
+// resumed session reproduces byte-identical tables.
 //
-// The cache is defensive end to end: a corrupt, truncated or
-// mismatched entry is treated as a miss (and removed) rather than an
-// error, and writes go through a temp file + rename so a crash
-// mid-store can never leave a half-written entry behind.
+// The cache is defensive end to end. Every entry is length-framed and
+// CRC-checksummed, so a torn, truncated or bit-flipped file is
+// *detected* on load — never decoded as garbage — and quarantined into
+// a corrupt/ subdirectory for inspection (surfaced by a counter and a
+// warning log) while the run silently recomputes. Writes go through a
+// temp file that is fsynced before an atomic rename, so a crash
+// mid-store can never leave a half-written entry under the final name,
+// and a crash right after the rename still finds the full frame on
+// disk.
 type diskCache struct {
 	dir string
+	log *slog.Logger
+
+	// quarantined counts corrupt entries moved aside on load;
+	// storeFails counts checkpoint writes that failed (non-fatally).
+	// Surfaced through SessionStats and the daemon's /metrics.
+	quarantined atomic.Uint64
+	storeFails  atomic.Uint64
 }
 
 // newDiskCache creates (if needed) and validates the cache directory.
-func newDiskCache(dir string) (*diskCache, error) {
+func newDiskCache(dir string, log *slog.Logger) (*diskCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("experiments: empty cache directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("experiments: creating cache dir: %w", err)
 	}
-	return &diskCache{dir: dir}, nil
+	if log == nil {
+		log = slog.Default()
+	}
+	return &diskCache{dir: dir, log: log}, nil
 }
 
 // diskKey derives the content address for one memoization key under
@@ -48,7 +68,7 @@ func (s *Session) diskKey(specKey string) string {
 	return hex.EncodeToString(h[:])
 }
 
-// entry is the on-disk form: the spec key is stored alongside the
+// entry is the on-disk payload: the spec key is stored alongside the
 // result so a (vanishingly unlikely) hash collision or a stale file
 // from an older key scheme is detected instead of silently served.
 type entry struct {
@@ -56,53 +76,176 @@ type entry struct {
 	Result *sim.Result `json:"result"`
 }
 
+// The frame wrapping every checkpoint payload: a one-line text header
+// carrying the payload length and CRC, then the JSON payload itself.
+// Headers are text (not binary) so a checkpoint file stays inspectable
+// with cat, and the file keeps its .json name for existing tooling.
+//
+//	ipcp-ckpt-v2 <payload-bytes> <crc32c-hex>\n{...payload...}
+const ckptMagic = "ipcp-ckpt-v2"
+
+// crcTable is Castagnoli, hardware-accelerated on every modern CPU.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeEntry frames one payload for disk.
+func encodeEntry(e entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %d %08x\n", ckptMagic, len(payload), crc32.Checksum(payload, crcTable))
+	buf.Write(payload)
+	return buf.Bytes(), nil
+}
+
+// decodeEntry verifies a frame and returns its payload. Legacy
+// (pre-frame) entries — plain JSON files — still decode, so an
+// existing cache directory survives the format upgrade. Every damage
+// mode (truncated header, short payload, trailing garbage, CRC
+// mismatch, malformed JSON) is an error, never a garbage entry.
+func decodeEntry(data []byte) (entry, error) {
+	var e entry
+	if !bytes.HasPrefix(data, []byte(ckptMagic+" ")) {
+		// Legacy v1 entry: no frame, the whole file is the payload.
+		if len(data) == 0 || data[0] != '{' {
+			return e, fmt.Errorf("checkpoint: bad magic")
+		}
+		if err := json.Unmarshal(data, &e); err != nil {
+			return e, fmt.Errorf("checkpoint: legacy entry: %w", err)
+		}
+		return e, nil
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return e, fmt.Errorf("checkpoint: truncated header")
+	}
+	var n int
+	var crc uint32
+	if _, err := fmt.Sscanf(string(data[:nl]), ckptMagic+" %d %08x", &n, &crc); err != nil {
+		return e, fmt.Errorf("checkpoint: malformed header: %w", err)
+	}
+	payload := data[nl+1:]
+	if n < 0 || len(payload) != n {
+		return e, fmt.Errorf("checkpoint: payload is %d bytes, header says %d", len(payload), n)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != crc {
+		return e, fmt.Errorf("checkpoint: crc mismatch (%08x != %08x)", got, crc)
+	}
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return e, fmt.Errorf("checkpoint: payload: %w", err)
+	}
+	return e, nil
+}
+
 // path shards entries by the first key byte to keep directories small.
 func (d *diskCache) path(key string) string {
 	return filepath.Join(d.dir, key[:2], key+".json")
 }
 
-// load returns the cached result for key, or ok=false on any miss or
-// damage (damaged entries are removed so the rewritten entry is clean).
+// quarantineDir is where damaged entries are moved, never re-read.
+func (d *diskCache) quarantineDir() string { return filepath.Join(d.dir, "corrupt") }
+
+// quarantine moves a damaged entry aside so it is preserved for
+// inspection but can never be decoded again; the rewritten entry gets
+// a clean slot. Falls back to removal if the move itself fails.
+func (d *diskCache) quarantine(p string, reason error) {
+	dst := filepath.Join(d.quarantineDir(), filepath.Base(p))
+	if err := os.MkdirAll(d.quarantineDir(), 0o755); err == nil {
+		err = os.Rename(p, dst)
+		if err == nil {
+			d.quarantined.Add(1)
+			d.log.Warn("checkpoint quarantined", "path", p, "quarantine", dst, "err", reason)
+			return
+		}
+	}
+	os.Remove(p)
+	d.quarantined.Add(1)
+	d.log.Warn("checkpoint quarantined (removed: move failed)", "path", p, "err", reason)
+}
+
+// load returns the cached result for key, or ok=false on any miss.
+// Damage is quarantined, not trusted: a file that fails the frame
+// check moves to corrupt/ and the caller recomputes.
 func (d *diskCache) load(key, specKey string) (*sim.Result, bool) {
 	p := d.path(key)
 	data, err := os.ReadFile(p)
 	if err != nil {
 		return nil, false
 	}
-	var e entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Spec != specKey || e.Result == nil {
-		os.Remove(p)
+	e, err := decodeEntry(data)
+	if err != nil {
+		d.quarantine(p, err)
+		return nil, false
+	}
+	if e.Spec != specKey || e.Result == nil {
+		d.quarantine(p, fmt.Errorf("checkpoint: entry is for spec %q, not %q", e.Spec, specKey))
 		return nil, false
 	}
 	return e.Result, true
 }
 
-// store checkpoints one result. Failures are deliberately non-fatal:
+// store checkpoints one result. Failures are deliberately non-fatal —
 // a read-only or full disk degrades the cache to a no-op rather than
-// failing the run that produced the result.
+// failing the run that produced the result — but never invisible:
+// each failure is counted (SessionStats.StoreFailures, /metrics) and
+// logged with the path and error.
+//
+// Durability discipline: the frame is written to a temp file in the
+// final directory, fsynced, closed, and only then renamed over the
+// final name. A crash at any point leaves either no entry or the
+// complete old/new entry — never a torn one under the final name.
 func (d *diskCache) store(key, specKey string, res *sim.Result) {
-	data, err := json.Marshal(entry{Spec: specKey, Result: res})
-	if err != nil {
-		return
-	}
 	p := d.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp-*")
+	err := d.writeEntry(p, entry{Spec: specKey, Result: res})
 	if err != nil {
-		return
+		d.storeFails.Add(1)
+		d.log.Warn("checkpoint store failed", "path", p, "err", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+}
+
+func (d *diskCache) writeEntry(p string, e entry) error {
+	if err := chaos.At("checkpoint.save"); err != nil {
+		return err
+	}
+	data, err := encodeEntry(e)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+filepath.Base(p)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := chaos.Writer("checkpoint.write", tmp).Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return
+		return err
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
+		return err
+	}
+	syncDir(filepath.Dir(p))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"runtime/debug"
@@ -20,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ipcp/internal/prefetch"
 	"ipcp/internal/sim"
@@ -232,6 +234,17 @@ type SessionStats struct {
 	Coalesced int
 	// Faults is the number of degraded (failed but non-fatal) runs.
 	Faults int
+	// StoreFailures counts disk-checkpoint writes that failed. Store
+	// failures are deliberately non-fatal (the cache degrades to a
+	// no-op) but surfaced here so a dying disk is visible.
+	StoreFailures int
+	// Quarantined counts corrupt checkpoint files detected on load and
+	// moved to the cache's corrupt/ subdirectory instead of decoded.
+	Quarantined int
+	// Abandoned counts concurrency slots reclaimed from cancelled runs
+	// that failed to unwind within the abandon grace (simulations
+	// wedged beyond cooperative cancellation).
+	Abandoned int
 }
 
 // Session memoizes simulation results for one Scale.
@@ -240,6 +253,7 @@ type Session struct {
 
 	ctx  context.Context
 	disk *diskCache
+	log  *slog.Logger
 
 	mu        sync.Mutex
 	cache     map[string]*outcome
@@ -248,6 +262,7 @@ type Session struct {
 	memoHits  int
 	diskHits  int
 	coalesced int
+	abandoned int
 	sem       chan struct{}
 }
 
@@ -267,8 +282,18 @@ func NewSessionContext(ctx context.Context, s Scale) *Session {
 	return &Session{
 		Scale: s,
 		ctx:   ctx,
+		log:   slog.Default(),
 		cache: make(map[string]*outcome),
 		sem:   make(chan struct{}, n),
+	}
+}
+
+// SetLogger routes the session's operational warnings (checkpoint
+// store failures, quarantined entries) to log; the default is
+// slog.Default(). Call before SetCacheDir.
+func (s *Session) SetLogger(log *slog.Logger) {
+	if log != nil {
+		s.log = log
 	}
 }
 
@@ -279,7 +304,7 @@ func NewSessionContext(ctx context.Context, s Scale) *Session {
 // workload + configuration + scale, so a cache directory can be shared
 // across scales safely.
 func (s *Session) SetCacheDir(dir string) error {
-	d, err := newDiskCache(dir)
+	d, err := newDiskCache(dir, s.log)
 	if err != nil {
 		return err
 	}
@@ -307,14 +332,20 @@ func (s *Session) Executed() int {
 // layer surfaces them on /metrics.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return SessionStats{
+	st := SessionStats{
 		Executed:  s.executed,
 		MemoHits:  s.memoHits,
 		DiskHits:  s.diskHits,
 		Coalesced: s.coalesced,
 		Faults:    len(s.faults),
+		Abandoned: s.abandoned,
 	}
+	s.mu.Unlock()
+	if s.disk != nil {
+		st.StoreFailures = int(s.disk.storeFails.Load())
+		st.Quarantined = int(s.disk.quarantined.Load())
+	}
+	return st
 }
 
 // Run executes (or recalls) one simulation.
@@ -501,20 +532,63 @@ func (s *Session) execute(ctx context.Context, spec RunSpec) (res *sim.Result, e
 		return nil, runCtx.Err()
 	}
 	adm.End()
-	defer func() { <-s.sem }()
 
 	s.mu.Lock()
 	s.executed++
 	s.mu.Unlock()
-	// A panic anywhere in the build or the cycle loop — a buggy
-	// prefetcher constructor, a corrupt trace stream, a simulator bug —
-	// is converted into this run's error instead of crashing the whole
-	// session.
-	defer func() {
-		if r := recover(); r != nil {
-			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
-		}
+
+	// The build and cycle loop run in a child goroutine that never
+	// touches the semaphore; the slot is released exactly once, here —
+	// when the run finishes, or when a cancelled run fails to unwind
+	// within the abandon grace (a simulation wedged somewhere the cycle
+	// loop's cancellation checks can't reach, e.g. a blocked trace
+	// source). Reclaiming a wedged run's slot keeps the session serving
+	// on small machines; if the zombie ever resumes it transiently
+	// overcommits one CPU but can never double-release the slot.
+	type runOutcome struct {
+		res *sim.Result
+		err error
+	}
+	done := make(chan runOutcome, 1)
+	go func() {
+		// A panic anywhere in the build or the cycle loop — a buggy
+		// prefetcher constructor, a corrupt trace stream, a simulator
+		// bug — is converted into this run's error instead of crashing
+		// the whole session.
+		defer func() {
+			if r := recover(); r != nil {
+				done <- runOutcome{err: &PanicError{Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		res, err := s.buildAndRun(runCtx, spec)
+		done <- runOutcome{res: res, err: err}
 	}()
+	select {
+	case o := <-done:
+		<-s.sem
+		return o.res, o.err
+	case <-runCtx.Done():
+		select {
+		case o := <-done:
+			<-s.sem
+			return o.res, o.err
+		case <-time.After(abandonGrace):
+			<-s.sem
+			s.mu.Lock()
+			s.abandoned++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("simulation abandoned after cancellation: %w", runCtx.Err())
+		}
+	}
+}
+
+// abandonGrace is how long a cancelled simulation gets to unwind
+// cooperatively before execute reclaims its concurrency slot.
+const abandonGrace = 100 * time.Millisecond
+
+// buildAndRun is the simulation body of execute: config assembly,
+// stream construction, system build and the cycle loop.
+func (s *Session) buildAndRun(runCtx context.Context, spec RunSpec) (*sim.Result, error) {
 	cores := spec.Cores
 	if cores == 0 {
 		cores = len(spec.Workloads)

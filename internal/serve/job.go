@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -21,7 +22,9 @@ const (
 )
 
 // JobState is a job's lifecycle position. Transitions are strictly
-// queued → running → done|failed; a job never leaves a terminal state.
+// queued → running → done|failed|stalled; a job never leaves a
+// terminal state. (A journal replay may move a crashed daemon's
+// running jobs back to queued — in the next process life.)
 type JobState string
 
 const (
@@ -29,7 +32,16 @@ const (
 	StateRunning JobState = "running"
 	StateDone    JobState = "done"
 	StateFailed  JobState = "failed"
+	// StateStalled is the watchdog's verdict: the job's simulation
+	// stopped retiring instructions for longer than the stall timeout
+	// and was cancelled to reclaim its worker slot.
+	StateStalled JobState = "stalled"
 )
+
+// terminal reports whether a state is final.
+func (st JobState) terminal() bool {
+	return st == StateDone || st == StateFailed || st == StateStalled
+}
 
 // JobEvent is one line of a job's progress stream, delivered as JSONL
 // on GET /v1/runs/{id}/events.
@@ -61,12 +73,22 @@ type Job struct {
 	err        error
 	result     *sim.Result
 	report     *experiments.Report
+	replayRep  *reportView // journal-replayed report (original lost to the crash)
 	started    time.Time
 	finished   time.Time
 	events     []JobEvent
 	changed    chan struct{} // closed and replaced on every mutation
 	progress   telemetry.Progress
 	progressAt time.Time
+
+	// Watchdog state: cancel tears down the running job's context;
+	// stalled marks the watchdog's verdict before the cancellation
+	// surfaces; lastMove is the last time the simulation demonstrably
+	// advanced (started, or a progress report whose counters moved).
+	cancel   func()
+	stalled  bool
+	lastMove time.Time
+	abandon  chan struct{} // closed by markStalled; wakes the worker's select
 }
 
 func newJob(kind JobKind) *Job {
@@ -94,41 +116,121 @@ func (j *Job) Event(kind, msg string) {
 	j.mu.Unlock()
 }
 
-// begin marks the job running.
-func (j *Job) begin() {
+// begin marks the job running; cancel lets the watchdog tear it down.
+func (j *Job) begin(cancel func()) {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	j.lastMove = j.started
+	j.cancel = cancel
+	j.abandon = make(chan struct{})
 	j.events = append(j.events, JobEvent{Seq: len(j.events), Time: j.started, Kind: "started"})
 	j.notifyLocked()
 	j.mu.Unlock()
 }
 
-// finish resolves the job into its terminal state.
+// finish resolves the job into its terminal state. A watchdog-marked
+// job terminates as stalled regardless of the error the cancellation
+// surfaced as.
 func (j *Job) finish(res *sim.Result, rep *experiments.Report, err error) {
 	j.mu.Lock()
 	j.result, j.report, j.err = res, rep, err
 	j.finished = time.Now()
 	ev := JobEvent{Seq: len(j.events), Time: j.finished, Kind: "done"}
-	j.state = StateDone
-	if err != nil {
+	switch {
+	case j.stalled:
+		j.state = StateStalled
+		ev.Kind = "stalled"
+		if err != nil {
+			ev.Msg = err.Error()
+		}
+	case err != nil:
 		j.state = StateFailed
 		ev.Kind = "failed"
 		ev.Msg = err.Error()
+	default:
+		j.state = StateDone
 	}
 	j.events = append(j.events, ev)
+	j.cancel = nil
 	j.notifyLocked()
 	j.mu.Unlock()
+}
+
+// markStalled records the watchdog's verdict and cancels the job's
+// context. Returns false if the job is not running (already finished,
+// or already marked).
+func (j *Job) markStalled() bool {
+	j.mu.Lock()
+	if j.state != StateRunning || j.stalled {
+		j.mu.Unlock()
+		return false
+	}
+	j.stalled = true
+	cancel := j.cancel
+	close(j.abandon)
+	j.events = append(j.events, JobEvent{
+		Seq: len(j.events), Time: time.Now(), Kind: "stall-detected",
+		Msg: "no simulation progress within the stall timeout; cancelling",
+	})
+	j.notifyLocked()
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Stalled reports whether the watchdog marked this job.
+func (j *Job) Stalled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stalled
+}
+
+// abandonCh returns the channel markStalled closes — the worker's cue
+// to stop waiting on a wedged simulation. Valid once begin has run.
+func (j *Job) abandonCh() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.abandon
+}
+
+// Result returns the job's terminal result (nil otherwise).
+func (j *Job) Result() *sim.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// stalledFor returns how long the running job has gone without
+// demonstrable progress (zero for non-running jobs).
+func (j *Job) stalledFor(now time.Time) time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.stalled {
+		return 0
+	}
+	return now.Sub(j.lastMove)
 }
 
 // setProgress records the latest simulation progress report. It is the
 // job's telemetry.ProgressFunc: called from the sim loop's existing
 // cancellation-check cadence, so a mutex here is off the hot path.
 // Streamers poll on a ticker instead of being woken per report.
+//
+// lastMove advances only when the report shows actual movement
+// (retired-instruction or cycle counters changed, or the phase
+// flipped): a wedged simulation that keeps reporting the same numbers
+// still reads as stalled to the watchdog.
 func (j *Job) setProgress(p telemetry.Progress) {
 	j.mu.Lock()
+	now := time.Now()
+	if p.Phase != j.progress.Phase || p.Retired != j.progress.Retired || p.Cycle != j.progress.Cycle {
+		j.lastMove = now
+	}
 	j.progress = p
-	j.progressAt = time.Now()
+	j.progressAt = now
 	j.mu.Unlock()
 }
 
@@ -163,7 +265,7 @@ func (j *Job) eventsSince(seq int) (events []JobEvent, changed <-chan struct{}, 
 	if seq < len(j.events) {
 		events = append(events, j.events[seq:]...)
 	}
-	return events, j.changed, j.state == StateDone || j.state == StateFailed
+	return events, j.changed, j.state.terminal()
 }
 
 // jobView is the JSON shape of GET /v1/runs/{id}.
@@ -228,6 +330,74 @@ func (j *Job) view() jobView {
 			rv.Failed = append(rv.Failed, failedView{ID: res.ID, Error: fmt.Sprint(res.Err)})
 		}
 		v.Report = rv
+	} else if j.replayRep != nil {
+		v.Report = j.replayRep
 	}
 	return v
+}
+
+// reportViewOf renders the job's report for the journal (nil when the
+// job has none).
+func (j *Job) reportViewOf() *reportView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.report == nil {
+		return j.replayRep
+	}
+	rv := &reportView{Interrupted: j.report.Interrupted, Markdown: j.report.Markdown()}
+	for _, res := range j.report.Failed() {
+		rv.Failed = append(rv.Failed, failedView{ID: res.ID, Error: fmt.Sprint(res.Err)})
+	}
+	return rv
+}
+
+// newReplayedJob rebuilds a Job from its journal history. Finished
+// jobs come back terminal with their original result; unfinished ones
+// come back queued (the caller re-enqueues them) — their start in the
+// previous life, if any, died with the process.
+func newReplayedJob(r *replayedJob) *Job {
+	j := &Job{
+		ID:        r.id,
+		Kind:      r.kind,
+		ExpIDs:    r.expIDs,
+		Timeout:   time.Duration(r.timeoutMS) * time.Millisecond,
+		RequestID: r.requestID,
+		Revision:  r.revision,
+		submitted: r.submitted,
+		state:     StateQueued,
+		changed:   make(chan struct{}),
+	}
+	if r.spec != nil {
+		j.Req = r.spec
+		j.Spec = r.spec.spec()
+		j.key = j.Spec.Key()
+	}
+	j.events = append(j.events, JobEvent{Seq: 0, Time: r.submitted, Kind: "queued"})
+	if r.outcome == "" {
+		// Unfinished: back to the queue with a visible marker that the
+		// daemon restarted underneath the job.
+		j.events = append(j.events, JobEvent{
+			Seq: 1, Time: time.Now(), Kind: "replayed",
+			Msg: "daemon restarted; job re-enqueued from the journal",
+		})
+		return j
+	}
+	if !r.started.IsZero() {
+		j.started = r.started
+		j.events = append(j.events, JobEvent{Seq: len(j.events), Time: r.started, Kind: "started"})
+	}
+	j.state = r.outcome
+	j.finished = r.finished
+	j.result = r.result
+	j.replayRep = r.report
+	j.stalled = r.outcome == StateStalled
+	ev := JobEvent{Seq: len(j.events), Time: r.finished, Kind: string(r.outcome), Msg: r.errstr}
+	if r.outcome == StateDone {
+		ev.Kind = "done"
+	}
+	if r.errstr != "" {
+		j.err = errors.New(r.errstr)
+	}
+	j.events = append(j.events, ev)
+	return j
 }

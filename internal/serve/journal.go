@@ -1,0 +1,418 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipcp/internal/chaos"
+	"ipcp/internal/sim"
+)
+
+// The job journal is ipcpd's write-ahead log: every job's submit,
+// start and finish is appended (fsynced) to a segment file before the
+// daemon acts on it, so a kill -9 at any instant loses zero
+// acknowledged work. On startup the journal is replayed: finished jobs
+// are re-registered with their original IDs and results (a client
+// polling across the crash sees its job complete), unfinished jobs are
+// re-enqueued with their original IDs (they run again — their results
+// were never delivered), and the replayed state is compacted into a
+// fresh segment written via tmp + fsync + rename.
+//
+// Record framing is binary and per-record checksummed:
+//
+//	uint32le payload length | uint32le CRC-32C(payload) | JSON payload
+//
+// Replay reads frames until EOF or the first damaged frame (torn tail
+// from a crash mid-append, or a bit flip): everything before the
+// damage is recovered, everything after is discarded with a warning —
+// a WAL's prefix-durability contract. Records are merged per job ID,
+// so replay tolerates any interleaving of submit/start/finish appends.
+
+// journalRecord is one WAL entry. Type decides which fields are live.
+type journalRecord struct {
+	Type string    `json:"type"` // "submit" | "start" | "finish"
+	Time time.Time `json:"time"`
+	Job  string    `json:"job"`
+
+	// submit fields: everything needed to rebuild the job's identity.
+	Seq       int         `json:"seq,omitempty"`
+	Kind      JobKind     `json:"kind,omitempty"`
+	Spec      *runRequest `json:"spec,omitempty"`
+	ExpIDs    []string    `json:"exp_ids,omitempty"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	RequestID string      `json:"request_id,omitempty"`
+	Revision  string      `json:"revision,omitempty"`
+
+	// finish fields.
+	Outcome JobState    `json:"outcome,omitempty"` // done | failed | stalled
+	Error   string      `json:"error,omitempty"`
+	Result  *sim.Result `json:"result,omitempty"`
+	Report  *reportView `json:"report,omitempty"`
+}
+
+// walTable is Castagnoli, matching the checkpoint store.
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	walFrameHeader = 8
+	// walMaxRecord bounds a frame so a corrupt length field cannot ask
+	// replay to allocate gigabytes.
+	walMaxRecord = 64 << 20
+	// walMaxSegment rotates the active segment when it grows past this.
+	walMaxSegment = 8 << 20
+)
+
+// journal is the WAL: one active append segment plus replay/compaction.
+type journal struct {
+	dir string
+	log *slog.Logger
+
+	mu     sync.Mutex
+	f      *os.File
+	segSeq int   // suffix of the active segment
+	size   int64 // bytes appended to the active segment
+
+	appended   atomic.Uint64 // records appended this process life
+	appendErrs atomic.Uint64 // appends that failed (journal degraded)
+	damaged    atomic.Uint64 // damaged frames discarded during replay
+	replayed   atomic.Uint64 // jobs restored by replay
+}
+
+func segName(seq int) string { return fmt.Sprintf("wal-%08d.seg", seq) }
+
+// openJournal opens (creating if needed) the journal directory,
+// replays every segment, compacts the live records into a single fresh
+// segment, and opens a new active segment for this life's appends.
+// The returned records are the replayed history, merged per job.
+func openJournal(dir string, log *slog.Logger) (*journal, []*replayedJob, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: creating journal dir: %w", err)
+	}
+	j := &journal{dir: dir, log: log}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(segs)
+	var recs []journalRecord
+	maxSeg := 0
+	for _, seg := range segs {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(seg), "wal-%d.seg", &n); err == nil && n > maxSeg {
+			maxSeg = n
+		}
+		segRecs, damaged := j.readSegment(seg)
+		recs = append(recs, segRecs...)
+		if damaged > 0 {
+			j.damaged.Add(uint64(damaged))
+			j.log.Warn("journal segment damaged; trailing records discarded",
+				"segment", seg, "recovered", len(segRecs), "damaged_frames", damaged)
+		}
+	}
+	jobs := mergeReplay(recs, log)
+	j.replayed.Store(uint64(len(jobs)))
+
+	// Compact: canonical submit(+finish) records for every replayed
+	// job, written tmp + fsync + rename, then the old segments go.
+	// A crash mid-compaction leaves the old segments intact (the
+	// rename is the commit point); a crash after leaves only the
+	// compacted segment. Either way replay sees consistent state.
+	if len(segs) > 0 {
+		compacted := filepath.Join(dir, segName(maxSeg+1))
+		if err := writeCompacted(compacted, jobs); err != nil {
+			return nil, nil, fmt.Errorf("serve: compacting journal: %w", err)
+		}
+		for _, seg := range segs {
+			if err := os.Remove(seg); err != nil {
+				j.log.Warn("journal: removing pre-compaction segment", "segment", seg, "err", err)
+			}
+		}
+		j.segSeq = maxSeg + 2
+	} else {
+		j.segSeq = 1
+	}
+	if err := j.openActive(); err != nil {
+		return nil, nil, err
+	}
+	return j, jobs, nil
+}
+
+func (j *journal) openActive() error {
+	f, err := os.OpenFile(filepath.Join(j.dir, segName(j.segSeq)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: opening journal segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	j.f, j.size = f, st.Size()
+	return nil
+}
+
+// append frames, writes and fsyncs one record. An error degrades the
+// journal (counted, logged by the caller) but never the serving path.
+func (j *journal) append(rec journalRecord) error {
+	if err := chaos.At("journal.append"); err != nil {
+		j.appendErrs.Add(1)
+		return err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		j.appendErrs.Add(1)
+		return err
+	}
+	frame := make([]byte, walFrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, walTable))
+	copy(frame[walFrameHeader:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		j.appendErrs.Add(1)
+		return fmt.Errorf("serve: journal closed")
+	}
+	if _, err := chaos.Writer("journal.write", j.f).Write(frame); err != nil {
+		// A torn frame would poison every later append in this
+		// segment; truncate it away, or abandon the segment if even
+		// that fails (the next segment starts clean).
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.rotateLocked()
+		}
+		j.appendErrs.Add(1)
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.appendErrs.Add(1)
+		return err
+	}
+	j.size += int64(len(frame))
+	j.appended.Add(1)
+	if j.size >= walMaxSegment {
+		j.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked moves appends to a fresh segment; j.mu held.
+func (j *journal) rotateLocked() {
+	if j.f != nil {
+		j.f.Close()
+	}
+	j.segSeq++
+	if err := j.openActive(); err != nil {
+		j.log.Error("journal rotation failed; journaling disabled", "err", err)
+		j.f = nil
+	}
+}
+
+// Close flushes and closes the active segment.
+func (j *journal) Close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Sync()
+		j.f.Close()
+		j.f = nil
+	}
+}
+
+// readSegment decodes frames until EOF or the first damaged frame.
+func (j *journal) readSegment(path string) (recs []journalRecord, damaged int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		j.log.Warn("journal: unreadable segment", "segment", path, "err", err)
+		return nil, 1
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < walFrameHeader {
+			return recs, 1 // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n < 0 || n > walMaxRecord || off+walFrameHeader+n > len(data) {
+			return recs, 1 // torn or length-corrupted payload
+		}
+		payload := data[off+walFrameHeader : off+walFrameHeader+n]
+		if crc32.Checksum(payload, walTable) != crc {
+			return recs, 1 // bit flip
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, 1 // CRC-valid but unparseable: treat as damage
+		}
+		recs = append(recs, rec)
+		off += walFrameHeader + n
+	}
+	return recs, 0
+}
+
+// replayedJob is one job's merged journal history.
+type replayedJob struct {
+	seq       int
+	id        string
+	kind      JobKind
+	spec      *runRequest
+	expIDs    []string
+	timeoutMS int64
+	requestID string
+	revision  string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	outcome   JobState // "" while unfinished
+	errstr    string
+	result    *sim.Result
+	report    *reportView
+}
+
+// mergeReplay folds records into per-job state, ordered by submit
+// sequence. Records for jobs whose submit record was lost to damage
+// cannot be acted on (no identity to rebuild) and are dropped with a
+// warning.
+func mergeReplay(recs []journalRecord, log *slog.Logger) []*replayedJob {
+	byID := make(map[string]*replayedJob)
+	get := func(id string) *replayedJob {
+		r, ok := byID[id]
+		if !ok {
+			r = &replayedJob{id: id}
+			byID[id] = r
+		}
+		return r
+	}
+	for _, rec := range recs {
+		if rec.Job == "" {
+			continue
+		}
+		r := get(rec.Job)
+		switch rec.Type {
+		case "submit":
+			r.seq = rec.Seq
+			r.kind = rec.Kind
+			r.spec = rec.Spec
+			r.expIDs = rec.ExpIDs
+			r.timeoutMS = rec.TimeoutMS
+			r.requestID = rec.RequestID
+			r.revision = rec.Revision
+			r.submitted = rec.Time
+		case "start":
+			r.started = rec.Time
+		case "finish":
+			r.finished = rec.Time
+			r.outcome = rec.Outcome
+			r.errstr = rec.Error
+			r.result = rec.Result
+			r.report = rec.Report
+		}
+	}
+	out := make([]*replayedJob, 0, len(byID))
+	for id, r := range byID {
+		if r.submitted.IsZero() || (r.kind == KindRun && r.spec == nil) {
+			log.Warn("journal: dropping job with incomplete history", "job_id", id)
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].seq < out[k].seq })
+	return out
+}
+
+// writeCompacted writes the canonical replay of jobs as one segment:
+// tmp file, fsync, rename — the same discipline as the checkpoint
+// store, so a crash never leaves a half-compacted segment in place.
+func writeCompacted(path string, jobs []*replayedJob) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".wal-compact-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var buf []byte
+	frame := func(rec journalRecord) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		var hdr [walFrameHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, walTable))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+		return nil
+	}
+	for _, r := range jobs {
+		if err := frame(journalRecord{
+			Type: "submit", Time: r.submitted, Job: r.id, Seq: r.seq,
+			Kind: r.kind, Spec: r.spec, ExpIDs: r.expIDs,
+			TimeoutMS: r.timeoutMS, RequestID: r.requestID, Revision: r.revision,
+		}); err != nil {
+			tmp.Close()
+			return err
+		}
+		if r.outcome == "" {
+			continue
+		}
+		if err := frame(journalRecord{
+			Type: "finish", Time: r.finished, Job: r.id,
+			Outcome: r.outcome, Error: r.errstr, Result: r.result, Report: r.report,
+		}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if f, err := os.Open(filepath.Dir(path)); err == nil {
+		f.Sync()
+		f.Close()
+	}
+	return nil
+}
+
+// submitRecord renders a job's admission for the WAL.
+func submitRecord(j *Job, seq int) journalRecord {
+	return journalRecord{
+		Type: "submit", Time: j.submitted, Job: j.ID, Seq: seq,
+		Kind: j.Kind, Spec: j.Req, ExpIDs: j.ExpIDs,
+		TimeoutMS: int64(j.Timeout / time.Millisecond),
+		RequestID: j.RequestID, Revision: j.Revision,
+	}
+}
+
+// appendOrWarn journals one record, downgrading failure to a warning:
+// serving keeps working on a dead journal disk, it just loses
+// crash-durability (visible via the append-error counter).
+func (s *Server) appendOrWarn(rec journalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(rec); err != nil {
+		s.log.Warn("journal append failed; job not crash-durable",
+			"job_id", rec.Job, "type", rec.Type, "err", err)
+	}
+}

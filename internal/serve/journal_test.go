@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"ipcp/internal/chaos"
+	"ipcp/internal/sim"
+)
+
+func discard() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// TestJournalRoundTripAndReplay: records appended in one life are
+// merged per job and replayed in the next, and replay compacts the old
+// segments into one canonical segment.
+func TestJournalRoundTripAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, replayed, err := openJournal(dir, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(replayed))
+	}
+	spec := &runRequest{Workloads: []string{"bwaves-98"}, ConfigKey: "wal"}
+	res := &sim.Result{IPC: []float64{2.5}}
+	recs := []journalRecord{
+		{Type: "submit", Time: time.Now(), Job: "j000001", Seq: 1, Kind: KindRun, Spec: spec, RequestID: "r-1"},
+		{Type: "start", Time: time.Now(), Job: "j000001"},
+		{Type: "finish", Time: time.Now(), Job: "j000001", Outcome: StateDone, Result: res},
+		{Type: "submit", Time: time.Now(), Job: "j000002", Seq: 2, Kind: KindRun, Spec: spec},
+		{Type: "start", Time: time.Now(), Job: "j000002"},
+		// j000002 never finishes: the crash takes it mid-run.
+	}
+	for _, r := range recs {
+		if err := j.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, replayed, err := openJournal(dir, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(replayed))
+	}
+	done, unfinished := replayed[0], replayed[1]
+	if done.id != "j000001" || done.outcome != StateDone || done.result == nil || done.result.IPC[0] != 2.5 {
+		t.Fatalf("finished job replayed as %+v", done)
+	}
+	if done.requestID != "r-1" || done.spec == nil || done.spec.ConfigKey != "wal" {
+		t.Fatalf("identity lost in replay: %+v", done)
+	}
+	if unfinished.id != "j000002" || unfinished.outcome != "" || unfinished.started.IsZero() {
+		t.Fatalf("unfinished job replayed as %+v", unfinished)
+	}
+	if d := j2.damaged.Load(); d != 0 {
+		t.Fatalf("clean journal reported %d damaged frames", d)
+	}
+
+	// Compaction: the original segment is gone, replaced by one
+	// compacted segment plus the new active one.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 2 {
+		t.Fatalf("segments after compaction = %v, want compacted + active", segs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Fatalf("pre-compaction segment survived (err=%v)", err)
+	}
+}
+
+// TestJournalTornTailRecovers: a crash mid-append leaves a torn frame
+// at the tail; replay recovers every record before it (the WAL's
+// prefix-durability contract) and counts the damage.
+func TestJournalTornTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &runRequest{Workloads: []string{"bwaves-98"}}
+	for i := 1; i <= 3; i++ {
+		id := "j00000" + strconv.Itoa(i)
+		if err := j.append(journalRecord{Type: "submit", Time: time.Now(), Job: id, Seq: i, Kind: KindRun, Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Tear the tail: append half a frame header, as a crash mid-write
+	// would.
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x99, 0x00, 0x00})
+	f.Close()
+
+	j2, replayed, err := openJournal(dir, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d jobs, want the 3 before the tear", len(replayed))
+	}
+	if d := j2.damaged.Load(); d != 1 {
+		t.Fatalf("damaged frames = %d, want 1", d)
+	}
+}
+
+// TestJournalBitFlipStopsReplayAtDamage: a flipped bit inside a frame
+// fails its CRC; records before it replay, records after are discarded.
+func TestJournalBitFlipStopsReplayAtDamage(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &runRequest{Workloads: []string{"bwaves-98"}}
+	var sizes []int64
+	for i := 1; i <= 3; i++ {
+		id := "j00000" + strconv.Itoa(i)
+		if err := j.append(journalRecord{Type: "submit", Time: time.Now(), Job: id, Seq: i, Kind: KindRun, Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, j.size)
+	}
+	j.Close()
+
+	// Flip one payload bit inside the second frame.
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[sizes[0]+walFrameHeader+4] ^= 0x08
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, replayed, err := openJournal(dir, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(replayed) != 1 || replayed[0].id != "j000001" {
+		t.Fatalf("replayed %v, want only the pre-damage job", replayed)
+	}
+	if d := j2.damaged.Load(); d != 1 {
+		t.Fatalf("damaged frames = %d, want 1", d)
+	}
+}
+
+// TestServerReplayServesFinishedJob: a finished job survives a restart
+// with its original ID and result, and later identical submissions
+// coalesce onto the replayed job.
+func TestServerReplayServesFinishedJob(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Options{JournalDir: dir})
+	req := runRequest{Workloads: []string{"bwaves-98"}, L1D: "ipcp", ConfigKey: "replay-done"}
+	v := s1.submitRun(t, req, http.StatusAccepted)
+	job := s1.await(t, v.ID, 10*time.Second)
+	if job.Status != StateDone {
+		t.Fatalf("job = %+v", job)
+	}
+	wantIPC := job.Result.IPC[0]
+	s1.ts.Close()
+	s1.Close()
+
+	s2 := newTestServer(t, Options{JournalDir: dir})
+	resp, body := s2.get(t, "/v1/runs/"+v.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET replayed job = %d (%s)", resp.StatusCode, body)
+	}
+	var got jobView
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StateDone || got.Result == nil || got.Result.IPC[0] != wantIPC {
+		t.Fatalf("replayed job = %+v, want done with IPC %v", got, wantIPC)
+	}
+	if got.RequestID == "" || got.Spec == nil || got.Spec.ConfigKey != "replay-done" {
+		t.Fatalf("replayed identity = %+v", got)
+	}
+	if m := s2.Metrics(); !m.Journal.Enabled || m.Journal.ReplayedJobs != 1 {
+		t.Fatalf("journal metrics = %+v", m.Journal)
+	}
+
+	// Identical submission coalesces onto the replayed job: no second
+	// execution for work already done before the crash.
+	again := s2.submitRun(t, req, http.StatusOK)
+	if !again.Coalesced || again.ID != v.ID {
+		t.Fatalf("post-replay resubmission = %+v, want coalesced onto %s", again, v.ID)
+	}
+	if got := s2.Session().Executed(); got != 0 {
+		t.Fatalf("replayed result re-executed %d times", got)
+	}
+}
+
+// TestServerReplayReenqueuesUnfinished: a journaled job with no finish
+// record (accepted, maybe started, then the process died) is re-run on
+// startup and completes under its original ID. New admissions continue
+// the ID sequence past the replayed ones.
+func TestServerReplayReenqueuesUnfinished(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &runRequest{Workloads: []string{"bwaves-98"}, L1D: "ipcp", ConfigKey: "replay-requeue"}
+	if err := j.append(journalRecord{
+		Type: "submit", Time: time.Now(), Job: "j000007", Seq: 7,
+		Kind: KindRun, Spec: spec, RequestID: "r-lost",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalRecord{Type: "start", Time: time.Now(), Job: "j000007"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	s := newTestServer(t, Options{JournalDir: dir})
+	job := s.await(t, "j000007", 10*time.Second)
+	if job.Status != StateDone || job.Result == nil {
+		t.Fatalf("replayed unfinished job = %+v", job)
+	}
+	if job.RequestID != "r-lost" {
+		t.Fatalf("request id lost across replay: %+v", job)
+	}
+	// The replayed job went through the full lifecycle again, with the
+	// restart visible in its event stream.
+	kinds := map[string]bool{}
+	for _, e := range eventKinds(t, s, "j000007") {
+		kinds[e] = true
+	}
+	if !kinds["replayed"] || !kinds["started"] || !kinds["done"] {
+		t.Fatalf("replayed job events = %v", kinds)
+	}
+	// New submissions pick up the sequence after the replayed maximum.
+	v := s.submitRun(t, runRequest{Workloads: []string{"bwaves-98"}, ConfigKey: "post-replay"}, http.StatusAccepted)
+	if v.ID != "j000008" {
+		t.Fatalf("post-replay id = %s, want j000008", v.ID)
+	}
+}
+
+func eventKinds(t *testing.T, s *testServer, id string) []string {
+	t.Helper()
+	j, ok := s.lookup(id)
+	if !ok {
+		t.Fatalf("job %s not found", id)
+	}
+	events, _, _ := j.eventsSince(0)
+	kinds := make([]string, 0, len(events))
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	return kinds
+}
+
+// TestJournalAppendFailureDegradesGracefully: a dead journal disk costs
+// crash-durability, never availability — submissions still serve, the
+// failure is counted.
+func TestJournalAppendFailureDegradesGracefully(t *testing.T) {
+	in := chaos.New(1)
+	in.Add(chaos.Rule{Point: "journal.append", Kind: chaos.KindErr})
+	chaos.Enable(in)
+	t.Cleanup(func() { chaos.Enable(nil) })
+
+	s := newTestServer(t, Options{JournalDir: t.TempDir()})
+	v := s.submitRun(t, runRequest{Workloads: []string{"bwaves-98"}, ConfigKey: "degraded"}, http.StatusAccepted)
+	job := s.await(t, v.ID, 10*time.Second)
+	if job.Status != StateDone {
+		t.Fatalf("job under journal failure = %+v", job)
+	}
+	if m := s.Metrics(); m.Journal.AppendErrors == 0 {
+		t.Fatalf("append errors not surfaced: %+v", m.Journal)
+	}
+}

@@ -190,9 +190,11 @@ func (s *Server) writePrometheus(w io.Writer) {
 		"Jobs by admission/terminal outcome.")
 	fmt.Fprintf(w, "ipcpd_jobs_total{outcome=\"admitted\"} %d\n", m.Jobs.Admitted)
 	fmt.Fprintf(w, "ipcpd_jobs_total{outcome=\"rejected\"} %d\n", m.Jobs.Rejected)
+	fmt.Fprintf(w, "ipcpd_jobs_total{outcome=\"shed\"} %d\n", m.Jobs.Shed)
 	fmt.Fprintf(w, "ipcpd_jobs_total{outcome=\"coalesced\"} %d\n", m.Jobs.Coalesced)
 	fmt.Fprintf(w, "ipcpd_jobs_total{outcome=\"completed\"} %d\n", m.Jobs.Completed)
 	fmt.Fprintf(w, "ipcpd_jobs_total{outcome=\"failed\"} %d\n", m.Jobs.Failed)
+	fmt.Fprintf(w, "ipcpd_jobs_total{outcome=\"stalled\"} %d\n", m.Jobs.Stalled)
 
 	telemetry.WritePrometheusHeader(w, "ipcpd_session_runs_total", "counter",
 		"Session run dispositions underneath the job layer.")
@@ -201,6 +203,22 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "ipcpd_session_runs_total{disposition=\"disk_hit\"} %d\n", m.Session.DiskHits)
 	fmt.Fprintf(w, "ipcpd_session_runs_total{disposition=\"coalesced\"} %d\n", m.Session.Coalesced)
 	fmt.Fprintf(w, "ipcpd_session_runs_total{disposition=\"fault\"} %d\n", m.Session.Faults)
+
+	telemetry.WritePrometheusValue(w, "ipcpd_checkpoints_quarantined", "counter",
+		"Corrupt checkpoint files detected on load and moved to the corrupt/ subdirectory.",
+		float64(m.Session.Quarantined))
+	telemetry.WritePrometheusValue(w, "ipcpd_checkpoint_store_failures_total", "counter",
+		"Checkpoint writes that failed (results still served from memory).",
+		float64(m.Session.StoreFailures))
+
+	telemetry.WritePrometheusHeader(w, "ipcpd_journal_records_total", "counter",
+		"Job-journal WAL appends this process life, by result.")
+	fmt.Fprintf(w, "ipcpd_journal_records_total{result=\"appended\"} %d\n", m.Journal.Appended)
+	fmt.Fprintf(w, "ipcpd_journal_records_total{result=\"error\"} %d\n", m.Journal.AppendErrors)
+	telemetry.WritePrometheusValue(w, "ipcpd_journal_replayed_jobs", "gauge",
+		"Jobs restored from the journal at startup.", float64(m.Journal.ReplayedJobs))
+	telemetry.WritePrometheusValue(w, "ipcpd_journal_damaged_frames_total", "counter",
+		"Damaged WAL frames discarded during replay.", float64(m.Journal.DamagedFrames))
 
 	m.QueueWait.WritePrometheus(w, "ipcpd_job_queue_wait_seconds",
 		"Time from admission to a worker picking the job up.")

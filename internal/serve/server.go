@@ -35,14 +35,18 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"ipcp/internal/chaos"
 	"ipcp/internal/experiments"
 	"ipcp/internal/memsys"
 	"ipcp/internal/prefetch"
+	"ipcp/internal/sim"
 	"ipcp/internal/telemetry"
 	"ipcp/internal/workload"
 )
@@ -66,6 +70,21 @@ type Options struct {
 	// JobTimeout caps every job's per-request timeout_ms; 0 means
 	// requests may run unbounded.
 	JobTimeout time.Duration
+	// JournalDir, when set, write-ahead journals every job's
+	// submit/start/finish to CRC-framed, fsynced segment files. On
+	// startup the journal is replayed: finished jobs are re-served
+	// with their original IDs and results, unfinished ones are
+	// re-enqueued — a kill -9 loses zero acknowledged work.
+	JournalDir string
+	// StallTimeout arms the hung-job watchdog: a running job whose
+	// simulation progress counters stop moving for this long is
+	// cancelled, terminates as outcome "stalled", and its worker slot
+	// is reclaimed (even if the simulation itself is wedged beyond
+	// cancellation). 0 disables the watchdog.
+	StallTimeout time.Duration
+	// WatchdogTick overrides the stall-scan cadence (default
+	// StallTimeout/4, clamped to [10ms, 1s]). Tests shrink it.
+	WatchdogTick time.Duration
 	// Log receives structured operational logs (admissions, completions,
 	// drain) with request_id/job_id/kind/duration attributes. Nil
 	// discards.
@@ -86,22 +105,27 @@ type Server struct {
 	log     *slog.Logger
 	spans   *telemetry.SpanTracer
 	build   BuildInfo
+	journal *journal // nil when JournalDir is unset
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	byKey    map[string]*Job // in-flight/completed run jobs by spec key
+	byKey    map[string]*Job      // in-flight/completed run jobs by spec key
+	queuedDL map[string]time.Time // queued jobs' absolute deadlines (load shedding)
 	seq      int
 	draining bool
 
 	queue chan *Job
-	wg    sync.WaitGroup
+	wg    sync.WaitGroup // workers
+	bg    sync.WaitGroup // watchdog
 
 	inFlight  telemetry.Gauge
 	admitted  telemetry.Counter
 	rejected  telemetry.Counter
+	shed      telemetry.Counter // deadline-aware load shedding refusals
 	coalesced telemetry.Counter
 	completed telemetry.Counter
 	failed    telemetry.Counter
+	stalledC  telemetry.Counter // watchdog-reaped jobs
 	queueWait *telemetry.Histogram // admission → worker pickup
 	execution *telemetry.Histogram // worker pickup → finish
 	latency   *telemetry.Histogram // admission → finish (end to end)
@@ -142,16 +166,115 @@ func New(opts Options) (*Server, error) {
 		build:     ReadBuildInfo(),
 		jobs:      make(map[string]*Job),
 		byKey:     make(map[string]*Job),
-		queue:     make(chan *Job, opts.QueueSize),
+		queuedDL:  make(map[string]time.Time),
 		queueWait: telemetry.NewHistogram(),
 		execution: telemetry.NewHistogram(),
 		latency:   telemetry.NewHistogram(),
+	}
+	var replay []*replayedJob
+	if opts.JournalDir != "" {
+		jr, jobs, err := openJournal(opts.JournalDir, opts.Log)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = jr
+		replay = jobs
+	}
+	// The queue must absorb every replayed unfinished job even when
+	// that exceeds QueueSize: the jobs were already acknowledged in a
+	// previous life and are never dropped on restart.
+	queueCap := opts.QueueSize
+	unfinished := 0
+	for _, r := range replay {
+		if r.outcome == "" {
+			unfinished++
+		}
+	}
+	if unfinished > queueCap {
+		queueCap = unfinished
+	}
+	s.queue = make(chan *Job, queueCap)
+	requeued := 0
+	for _, r := range replay {
+		if r.seq > s.seq {
+			s.seq = r.seq
+		}
+		j := newReplayedJob(r)
+		s.jobs[j.ID] = j
+		// Done and still-queued runs pin the coalescing key so
+		// identical submissions after the restart share them; stalled
+		// and failed replays don't (their retry semantics match the
+		// live eviction rules).
+		if st := j.State(); j.Kind == KindRun && j.key != "" &&
+			(st == StateQueued || st == StateDone) {
+			s.byKey[j.key] = j
+		}
+		if !j.State().terminal() {
+			requeued++
+			s.queue <- j
+		}
+	}
+	if s.journal != nil {
+		s.log.Info("journal replayed",
+			"dir", opts.JournalDir, "jobs", len(replay), "requeued", requeued,
+			"finished", len(replay)-requeued, "damaged_frames", s.journal.damaged.Load())
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if opts.StallTimeout > 0 {
+		s.bg.Add(1)
+		go s.watchdog()
+	}
 	return s, nil
+}
+
+// watchdog periodically scans running jobs for ones whose simulation
+// progress counters have stopped moving and reaps them (cancellation +
+// worker-slot reclaim). Exits when the server's context does.
+func (s *Server) watchdog() {
+	defer s.bg.Done()
+	tick := s.opts.WatchdogTick
+	if tick <= 0 {
+		tick = s.opts.StallTimeout / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		if tick > time.Second {
+			tick = time.Second
+		}
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-t.C:
+			s.reapStalled(now)
+		}
+	}
+}
+
+// reapStalled marks every over-deadline running job stalled.
+func (s *Server) reapStalled(now time.Time) {
+	s.mu.Lock()
+	var stale []*Job
+	for _, j := range s.jobs {
+		if j.stalledFor(now) > s.opts.StallTimeout {
+			stale = append(stale, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range stale {
+		if j.markStalled() {
+			s.log.Warn("watchdog: job stalled; cancelling to reclaim its worker",
+				"job_id", j.ID, "kind", string(j.Kind), "request_id", j.RequestID,
+				"stall_timeout", s.opts.StallTimeout)
+		}
+	}
 }
 
 // Session exposes the underlying experiments session (metrics, tests).
@@ -215,22 +338,28 @@ func (s *Server) Close() {
 	s.StartDrain()
 	s.cancel()
 	s.wg.Wait()
+	s.bg.Wait()
+	if s.journal != nil {
+		s.journal.Close()
+	}
 }
 
-// errQueueFull and errDraining are the two admission refusals; both
-// map to 429 so clients retry against a drained or less-loaded server.
+// The admission refusals; all map to 429 so clients retry against a
+// drained or less-loaded server.
 var (
-	errQueueFull = errors.New("job queue full")
-	errDraining  = errors.New("server draining")
+	errQueueFull     = errors.New("job queue full")
+	errDraining      = errors.New("server draining")
+	errBacklogDoomed = errors.New("queue backlog already past its deadlines; shedding load")
 )
 
 // submit admits a job (assigning its ID) or coalesces it onto an
-// existing identical run job.
+// existing identical run job. An admission is journaled before it is
+// acknowledged, so the caller's 202 implies crash-durability.
 func (s *Server) submit(j *Job) (*Job, bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
 		s.rejected.Inc()
+		s.mu.Unlock()
 		return nil, false, errDraining
 	}
 	if j.Kind == KindRun {
@@ -241,7 +370,20 @@ func (s *Server) submit(j *Job) (*Job, bool, error) {
 			// an experiment job touching the same spec) are coalesced
 			// one layer down, by the session's single-flight cache.
 			s.coalesced.Inc()
+			s.mu.Unlock()
 			return exist, true, nil
+		}
+	}
+	// Deadline-aware shedding: if any already-queued job has blown past
+	// its own absolute deadline while waiting, the backlog is doomed —
+	// new work would only wait behind jobs guaranteed to time out, so
+	// refuse it now instead of timing it out later.
+	now := time.Now()
+	for _, dl := range s.queuedDL {
+		if now.After(dl) {
+			s.shed.Inc()
+			s.mu.Unlock()
+			return nil, false, errBacklogDoomed
 		}
 	}
 	// Identity must be stamped before the channel send: the send is the
@@ -255,16 +397,27 @@ func (s *Server) submit(j *Job) (*Job, bool, error) {
 	default:
 		s.seq--
 		s.rejected.Inc()
+		s.mu.Unlock()
 		return nil, false, errQueueFull
 	}
 	s.jobs[j.ID] = j
 	if j.Kind == KindRun {
 		s.byKey[j.key] = j
 	}
+	if j.Timeout > 0 {
+		s.queuedDL[j.ID] = j.submitted.Add(j.Timeout)
+	}
 	s.admitted.Inc()
+	seq := s.seq
 	s.log.Info("job admitted",
 		"job_id", j.ID, "kind", string(j.Kind), "request_id", j.RequestID,
 		"queue_depth", len(s.queue))
+	s.mu.Unlock()
+	// Journal outside the lock (the append fsyncs) but before the ack.
+	// A crash in this window — modeled by the queue.handoff chaos point
+	// — loses only a job nobody was ever told about.
+	_ = chaos.At("queue.handoff")
+	s.appendOrWarn(submitRecord(j, seq))
 	return j, false, nil
 }
 
@@ -290,10 +443,22 @@ func interrupted(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// errStalled is a reaped job's terminal error when its simulation was
+// wedged beyond cancellation and had to be abandoned outright.
+var errStalled = errors.New("stalled: no simulation progress within the stall timeout")
+
+// stallGrace is how long a stall-cancelled job gets to unwind cleanly
+// (surfacing the session's own cancellation error) before the worker
+// abandons the simulation goroutine and reclaims the slot anyway.
+const stallGrace = 250 * time.Millisecond
+
 func (s *Server) runJob(j *Job) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	start := time.Now()
+	s.mu.Lock()
+	delete(s.queuedDL, j.ID)
+	s.mu.Unlock()
 	wait := start.Sub(j.submitted)
 	s.queueWait.Observe(wait.Seconds())
 	// The queue wait already happened by the time a worker sees the job,
@@ -307,7 +472,6 @@ func (s *Server) runJob(j *Job) {
 		Start:     j.submitted,
 		Dur:       wait,
 	})
-	j.begin()
 
 	// Rebuild the request's correlation on the worker's context: the
 	// span tracer, request id, job id and parent span flow from here
@@ -320,38 +484,87 @@ func (s *Server) runJob(j *Job) {
 	ctx = telemetry.ContextWithProgress(ctx, j.setProgress)
 	ctx, jobSpan := telemetry.StartSpan(ctx, "job."+string(j.Kind))
 
-	cancel := context.CancelFunc(func() {})
+	// Every job context is cancellable so the watchdog can tear the job
+	// down; the per-job deadline layers on top.
+	var cancel context.CancelFunc
 	if j.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, j.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
+	j.begin(cancel)
+	s.appendOrWarn(journalRecord{Type: "start", Time: time.Now(), Job: j.ID})
 
-	switch j.Kind {
-	case KindRun:
-		res, err := s.session.RunContext(ctx, j.Spec)
-		j.finish(res, nil, err)
-	case KindExperiments:
-		rep, err := experiments.RunIDs(ctx, s.session, j.ExpIDs,
-			func(res experiments.ExperimentResult, done bool) {
-				switch {
-				case !done:
-					j.Event("experiment-start", res.ID)
-				case res.Err != nil:
-					j.Event("experiment-failed", fmt.Sprintf("%s: %v", res.ID, res.Err))
-				default:
-					j.Event("experiment-done", fmt.Sprintf("%s (%.1fs)", res.ID, res.Elapsed.Seconds()))
-				}
-			})
-		if err == nil && rep.Interrupted {
-			err = fmt.Errorf("experiments interrupted: %w", firstNonNil(ctx.Err(), context.Canceled))
-		}
-		j.finish(nil, rep, err)
+	// The session call runs in a child goroutine so the worker can
+	// abandon a simulation the watchdog's cancellation cannot unwind
+	// (wedged outside the cycle loop's cancellation checks): the worker
+	// slot is reclaimed either way. The abandoned goroutine parks on
+	// the buffered channel send and unwinds whenever the simulation
+	// eventually returns.
+	type outcome struct {
+		res *sim.Result
+		rep *experiments.Report
+		err error
 	}
+	outc := make(chan outcome, 1)
+	go func() {
+		switch j.Kind {
+		case KindRun:
+			res, err := s.session.RunContext(ctx, j.Spec)
+			outc <- outcome{res: res, err: err}
+		case KindExperiments:
+			rep, err := experiments.RunIDs(ctx, s.session, j.ExpIDs,
+				func(res experiments.ExperimentResult, done bool) {
+					switch {
+					case !done:
+						j.Event("experiment-start", res.ID)
+					case res.Err != nil:
+						j.Event("experiment-failed", fmt.Sprintf("%s: %v", res.ID, res.Err))
+					default:
+						j.Event("experiment-done", fmt.Sprintf("%s (%.1fs)", res.ID, res.Elapsed.Seconds()))
+					}
+				})
+			if err == nil && rep.Interrupted {
+				err = fmt.Errorf("experiments interrupted: %w", firstNonNil(ctx.Err(), context.Canceled))
+			}
+			outc <- outcome{rep: rep, err: err}
+		}
+	}()
+	var out outcome
+	select {
+	case out = <-outc:
+	case <-j.abandonCh():
+		// Watchdog verdict: the context is already cancelled. Give the
+		// cancellation a grace period to unwind cleanly, then abandon
+		// the goroutine outright.
+		grace := time.NewTimer(stallGrace)
+		select {
+		case out = <-outc:
+		case <-grace.C:
+			out = outcome{err: errStalled}
+		}
+		grace.Stop()
+	}
+	j.finish(out.res, out.rep, out.err)
 
 	elapsed := time.Since(start)
 	s.execution.Observe(elapsed.Seconds())
 	s.latency.Observe(time.Since(j.submitted).Seconds())
-	if err := j.Err(); err != nil {
+	st, err := j.State(), j.Err()
+	s.journalFinish(j, st, err)
+	switch st {
+	case StateStalled:
+		jobSpan.SetAttr("outcome", "stalled")
+		if err != nil {
+			jobSpan.SetAttr("error", err.Error())
+		}
+		jobSpan.End()
+		s.stalledC.Inc()
+		s.log.Error("job stalled; worker slot reclaimed",
+			"job_id", j.ID, "kind", string(j.Kind), "request_id", j.RequestID,
+			"queue_wait", wait, "duration", elapsed, "err", err)
+	case StateFailed:
 		jobSpan.SetAttr("outcome", "failed")
 		jobSpan.SetAttr("error", err.Error())
 		jobSpan.End()
@@ -359,23 +572,51 @@ func (s *Server) runJob(j *Job) {
 		s.log.Error("job failed",
 			"job_id", j.ID, "kind", string(j.Kind), "request_id", j.RequestID,
 			"queue_wait", wait, "duration", elapsed, "err", err)
-		// A cancelled/timed-out run is not memoized by the session, so
-		// don't pin later identical submissions to this dead job.
-		if j.Kind == KindRun && interrupted(err) {
-			s.mu.Lock()
-			if s.byKey[j.key] == j {
-				delete(s.byKey, j.key)
-			}
-			s.mu.Unlock()
+	default:
+		jobSpan.SetAttr("outcome", "done")
+		jobSpan.End()
+		s.completed.Inc()
+		s.log.Info("job done",
+			"job_id", j.ID, "kind", string(j.Kind), "request_id", j.RequestID,
+			"queue_wait", wait, "duration", elapsed)
+	}
+	// Neither a stalled nor a cancelled/timed-out run is memoized by
+	// the session, so don't pin later identical submissions to a dead
+	// job.
+	if j.Kind == KindRun && (st == StateStalled || (err != nil && interrupted(err))) {
+		s.mu.Lock()
+		if s.byKey[j.key] == j {
+			delete(s.byKey, j.key)
 		}
+		s.mu.Unlock()
+	}
+}
+
+// journalFinish decides which terminal states earn a WAL finish
+// record. Shutdown-interrupted jobs deliberately get none — mirroring
+// the session's refusal to memoize cancellation, replay re-enqueues
+// them. A job's own blown deadline, a stall verdict, and genuine
+// failures are final outcomes the next life must re-serve as-is.
+func (s *Server) journalFinish(j *Job, st JobState, err error) {
+	if s.journal == nil {
 		return
 	}
-	jobSpan.SetAttr("outcome", "done")
-	jobSpan.End()
-	s.completed.Inc()
-	s.log.Info("job done",
-		"job_id", j.ID, "kind", string(j.Kind), "request_id", j.RequestID,
-		"queue_wait", wait, "duration", elapsed)
+	if st == StateFailed && interrupted(err) &&
+		!(errors.Is(err, context.DeadlineExceeded) && j.Timeout > 0) {
+		return
+	}
+	rec := journalRecord{Type: "finish", Time: time.Now(), Job: j.ID, Outcome: st}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if st == StateDone {
+		if j.Kind == KindRun {
+			rec.Result = j.Result()
+		} else {
+			rec.Report = j.reportViewOf()
+		}
+	}
+	s.appendOrWarn(rec)
 }
 
 func firstNonNil(errs ...error) error {
@@ -489,10 +730,29 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// writeAdmissionError maps the two refusals onto 429 + Retry-After.
+// writeAdmissionError maps admission refusals onto 429 + Retry-After.
 func writeAdmissionError(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", retryAfter())
 	writeError(w, http.StatusTooManyRequests, err)
+}
+
+// retryAfterBase is the midpoint of the jittered Retry-After hint.
+const retryAfterBase = 2 * time.Second
+
+// retryAfter renders base ± 25% jitter as whole seconds, so a burst of
+// rejected clients does not re-arrive as one synchronized burst. The
+// sub-second remainder rounds probabilistically — integer granularity
+// would otherwise collapse the jitter back onto a single value.
+func retryAfter() string {
+	secs := retryAfterBase.Seconds() * (0.75 + 0.5*rand.Float64())
+	n := int(secs)
+	if rand.Float64() < secs-float64(n) {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return strconv.Itoa(n)
 }
 
 // timeout clamps a request's timeout_ms to the server's JobTimeout cap.
@@ -750,20 +1010,35 @@ type MetricsSnapshot struct {
 	Jobs struct {
 		Admitted  uint64 `json:"admitted"`
 		Rejected  uint64 `json:"rejected"`
+		Shed      uint64 `json:"shed"`
 		Coalesced uint64 `json:"coalesced"`
 		Completed uint64 `json:"completed"`
 		Failed    uint64 `json:"failed"`
+		Stalled   uint64 `json:"stalled"`
 	} `json:"jobs"`
 
 	// Session counters: how run requests were satisfied underneath the
-	// job layer (memo, disk checkpoint, single-flight coalescing).
+	// job layer (memo, disk checkpoint, single-flight coalescing), plus
+	// the checkpoint store's durability counters.
 	Session struct {
-		Executed  int `json:"executed"`
-		MemoHits  int `json:"memo_hits"`
-		DiskHits  int `json:"disk_hits"`
-		Coalesced int `json:"coalesced"`
-		Faults    int `json:"faults"`
+		Executed      int    `json:"executed"`
+		MemoHits      int    `json:"memo_hits"`
+		DiskHits      int    `json:"disk_hits"`
+		Coalesced     int    `json:"coalesced"`
+		Faults        int    `json:"faults"`
+		StoreFailures int    `json:"store_failures"`
+		Quarantined   int    `json:"quarantined"`
 	} `json:"session"`
+
+	// Journal counters: the WAL's health this process life. AppendErrors
+	// rising means accepted jobs are not crash-durable right now.
+	Journal struct {
+		Enabled       bool   `json:"enabled"`
+		ReplayedJobs  uint64 `json:"replayed_jobs"`
+		Appended      uint64 `json:"appended"`
+		AppendErrors  uint64 `json:"append_errors"`
+		DamagedFrames uint64 `json:"damaged_frames"`
+	} `json:"journal"`
 
 	// QueueWait is admission → worker pickup, Execution is pickup →
 	// finish, and JobLatency is the end-to-end sum of the two — all in
@@ -778,20 +1053,31 @@ type MetricsSnapshot struct {
 func (s *Server) Metrics() MetricsSnapshot {
 	var m MetricsSnapshot
 	m.QueueDepth = len(s.queue)
-	m.QueueCapacity = s.opts.QueueSize
+	m.QueueCapacity = cap(s.queue)
 	m.InFlight = s.inFlight.Value()
 	m.Draining = s.Draining()
 	m.Jobs.Admitted = s.admitted.Value()
 	m.Jobs.Rejected = s.rejected.Value()
+	m.Jobs.Shed = s.shed.Value()
 	m.Jobs.Coalesced = s.coalesced.Value()
 	m.Jobs.Completed = s.completed.Value()
 	m.Jobs.Failed = s.failed.Value()
+	m.Jobs.Stalled = s.stalledC.Value()
 	st := s.session.Stats()
 	m.Session.Executed = st.Executed
 	m.Session.MemoHits = st.MemoHits
 	m.Session.DiskHits = st.DiskHits
 	m.Session.Coalesced = st.Coalesced
 	m.Session.Faults = st.Faults
+	m.Session.StoreFailures = st.StoreFailures
+	m.Session.Quarantined = st.Quarantined
+	if s.journal != nil {
+		m.Journal.Enabled = true
+		m.Journal.ReplayedJobs = s.journal.replayed.Load()
+		m.Journal.Appended = s.journal.appended.Load()
+		m.Journal.AppendErrors = s.journal.appendErrs.Load()
+		m.Journal.DamagedFrames = s.journal.damaged.Load()
+	}
 	m.QueueWait = s.queueWait.Snapshot()
 	m.Execution = s.execution.Snapshot()
 	m.JobLatency = s.latency.Snapshot()
