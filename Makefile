@@ -1,17 +1,20 @@
 GO ?= go
 
 # Benchmarks tracked in BENCH_throughput.json: the simulator hot-loop
-# throughput benches plus two representative figure benches.
-TRACKED_BENCH = SimulatorThroughput|Fig7$$|Fig8$$
+# throughput benches, two representative figure benches, and the sweep
+# pair whose ratio is the shared-warmup amortization factor.
+TRACKED_BENCH = SimulatorThroughput|Fig7$$|Fig8$$|SweepColdWarmup$$|SweepSharedWarmup$$
 BENCH_FILE   = BENCH_throughput.json
 
-.PHONY: check build vet test determinism audit bench benchsmoke benchdiff fuzz serve-smoke obs-smoke chaos-smoke
+.PHONY: check build vet test determinism audit bench benchsmoke benchdiff benchgate fuzz serve-smoke obs-smoke chaos-smoke
 
 # Tier-1 gate: everything must pass before a change lands. `test` runs
 # -race over every package — including the session-concurrency and
 # serve suites (internal/experiments, internal/serve); serve-smoke,
-# obs-smoke and chaos-smoke exercise the built ipcpd binary end to end.
-check: build vet test determinism audit fuzz serve-smoke obs-smoke chaos-smoke
+# obs-smoke and chaos-smoke exercise the built ipcpd binary end to end;
+# benchgate holds tracked instr/s (simulator hot loop and the
+# shared-warmup sweep pair) to within 10% of the recorded baseline.
+check: build vet test determinism audit benchgate fuzz serve-smoke obs-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -30,11 +33,12 @@ determinism:
 
 # Differential audit: every bundled workload through the fully audited
 # system (shadow caches + paper-faithful IPCP oracles in lockstep),
-# fast-forward on and off, diffed. No -race: the harness is already
-# several times slower than the plain simulation, and `test` covers the
-# subset under -race.
+# fast-forward on and off, diffed; plus the fork-vs-cold differential
+# that holds every warmup-forked run to byte-identity with a cold run.
+# No -race: the harness is already several times slower than the plain
+# simulation, and `test` covers the subset under -race.
 audit:
-	AUDIT_FULL=1 $(GO) test ./internal/audit -run 'TestDifferentialSuite|TestDeepThrottleRun' -count=1
+	AUDIT_FULL=1 $(GO) test ./internal/audit -run 'TestDifferentialSuite|TestDeepThrottleRun|TestForkDifferentialSuite' -count=1
 
 # Timed run of the tracked benchmarks, appended to $(BENCH_FILE).
 bench:
@@ -46,6 +50,11 @@ bench:
 benchdiff:
 	$(GO) test -run '^$$' -bench '$(TRACKED_BENCH)' -benchmem -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/benchrecord -diff $(BENCH_FILE)
+
+# Perf gate for `make check`: the benchdiff comparison as a named CI
+# target — non-zero exit when any tracked benchmark's instr/s drops
+# more than 10% below the latest recorded BENCH_throughput.json entry.
+benchgate: benchdiff
 
 # Smoke-run every benchmark once (no timing significance).
 benchsmoke:

@@ -279,6 +279,66 @@ func BenchmarkSimulatorThroughputSteady(b *testing.B) {
 	b.ReportMetric(instrPerOp*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }
 
+// --- sweep amortization ---------------------------------------------------
+
+// sweepBenchScale reflects sweep methodology: a long shared warmup
+// prefix (4x the Default scale's) and a short per-point measure window
+// — a sweep's value is many configurations, not long measurements, so
+// the warmup prefix dominates and is exactly what shared-warmup
+// forking amortizes.
+var sweepBenchScale = experiments.Scale{Warmup: 200_000, Measure: 50_000, Seed: 1}
+
+// sweepBenchSpecs is one warmup group of the prefetcher grid: twelve
+// configurations over a single (trace, scale, seed) prefix, so the
+// shared-warmup scheduler runs one warmup and forks twelve measures.
+func sweepBenchSpecs() []experiments.RunSpec {
+	var specs []experiments.RunSpec
+	for _, l1 := range []string{"", "nl", "ipstride", "ipcp", "spp", "bop"} {
+		for _, l2 := range []string{"", "ipcp"} {
+			specs = append(specs, experiments.RunSpec{
+				Workloads: []string{"mcf-994"}, L1D: l1, L2: l2,
+			})
+		}
+	}
+	return specs
+}
+
+// runSweepBench drives the grid sequentially so the two benchmarks
+// compare total compute, the quantity that bounds wall-clock once a
+// real grid exceeds the core count. The instr/s metric is the rate of
+// *delivered* sweep work — every grid point counts warmup+measure,
+// whether the warmup was simulated or forked — so the shared variant's
+// gain shows up in the metric, not just in ns/op.
+func runSweepBench(b *testing.B, run func(*experiments.Session, experiments.RunSpec) (*sim.Result, error)) {
+	b.Helper()
+	specs := sweepBenchSpecs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(sweepBenchScale) // fresh session: no memo, no resident snapshots
+		for _, spec := range specs {
+			if _, err := run(s, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	work := float64(len(specs)) * float64(sweepBenchScale.Warmup+sweepBenchScale.Measure)
+	b.ReportMetric(work*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkSweepColdWarmup is the baseline: every grid point re-runs
+// the identical warmup prefix (K·(W+M) simulated instructions).
+func BenchmarkSweepColdWarmup(b *testing.B) {
+	runSweepBench(b, (*experiments.Session).Run)
+}
+
+// BenchmarkSweepSharedWarmup runs the same grid through the
+// shared-warmup scheduler: one warmup leader, eleven forks from the
+// resident snapshot (W + K·M simulated instructions). The ratio to
+// BenchmarkSweepColdWarmup is the sweep amortization factor.
+func BenchmarkSweepSharedWarmup(b *testing.B) {
+	runSweepBench(b, (*experiments.Session).RunShared)
+}
+
 func BenchmarkAblTemporal(b *testing.B) {
 	runExperiment(b, "abl-temporal", map[string]metricRef{
 		"ipcp":          {"IPCP (paper)", 0},

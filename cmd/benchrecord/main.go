@@ -167,6 +167,9 @@ func doRecord(path string, fresh []Entry, note string) error {
 	}
 	when := time.Now().UTC().Format(time.RFC3339)
 	commit := gitRev()
+	if err := checkProvenance(hist, fresh, commit, note); err != nil {
+		return err
+	}
 	for _, e := range fresh {
 		e.When, e.Commit, e.Note = when, commit, note
 		hist = append(hist, e)
@@ -181,6 +184,32 @@ func doRecord(path string, fresh []Entry, note string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// checkProvenance refuses to append an entry whose (bench, commit)
+// pair already exists in the history under a different note. Two notes
+// at one commit means at least one of them describes a working tree
+// the commit hash does not identify — exactly the mislabeling this
+// history exists to prevent. Re-recording with the same note (more
+// samples of the same configuration) stays allowed.
+func checkProvenance(hist, fresh []Entry, commit, note string) error {
+	if commit == "" {
+		return nil // no VCS identity to conflict on
+	}
+	notes := map[string]string{}
+	for _, e := range hist {
+		if e.Commit == commit {
+			notes[e.Bench] = e.Note
+		}
+	}
+	for _, e := range fresh {
+		if prev, ok := notes[e.Bench]; ok && prev != note {
+			return fmt.Errorf("%s already recorded at commit %s with note %q; "+
+				"refusing to add conflicting note %q (commit your changes so the "+
+				"hash identifies what was measured)", e.Bench, commit, prev, note)
+		}
+	}
+	return nil
 }
 
 // doDiff prints a benchstat-style comparison and reports whether every

@@ -47,6 +47,54 @@ func TestBenchName(t *testing.T) {
 	}
 }
 
+func TestCheckProvenanceRejectsConflictingNotes(t *testing.T) {
+	hist := []Entry{
+		{Bench: "BenchmarkX", Commit: "abc1234", Note: "baseline"},
+		{Bench: "BenchmarkY", Commit: "abc1234", Note: "baseline"},
+	}
+	fresh := []Entry{{Bench: "BenchmarkX"}}
+
+	if err := checkProvenance(hist, fresh, "abc1234", "optimized"); err == nil {
+		t.Fatal("conflicting note at the same (bench, commit) must be rejected")
+	}
+	// Same note: re-recording more samples of the same configuration.
+	if err := checkProvenance(hist, fresh, "abc1234", "baseline"); err != nil {
+		t.Fatalf("same note must be allowed: %v", err)
+	}
+	// New commit: no conflict possible.
+	if err := checkProvenance(hist, fresh, "def5678", "optimized"); err != nil {
+		t.Fatalf("new commit must be allowed: %v", err)
+	}
+	// No VCS identity (e.g. tarball checkout): nothing to conflict on.
+	if err := checkProvenance(hist, fresh, "", "optimized"); err != nil {
+		t.Fatalf("empty commit must be allowed: %v", err)
+	}
+	// A bench the history has never seen at this commit is fine.
+	if err := checkProvenance(hist, []Entry{{Bench: "BenchmarkZ"}}, "abc1234", "optimized"); err != nil {
+		t.Fatalf("new bench at existing commit must be allowed: %v", err)
+	}
+}
+
+func TestHistoryProvenanceConsistent(t *testing.T) {
+	// The checked-in history must satisfy the invariant benchrecord now
+	// enforces: one note per (bench, commit).
+	hist, err := loadHistory("../../BENCH_throughput.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) == 0 {
+		t.Fatal("checked-in history is empty")
+	}
+	notes := map[[2]string]string{}
+	for _, e := range hist {
+		k := [2]string{e.Bench, e.Commit}
+		if prev, ok := notes[k]; ok && prev != e.Note {
+			t.Errorf("%s @ %s recorded with conflicting notes %q and %q", e.Bench, e.Commit, prev, e.Note)
+		}
+		notes[k] = e.Note
+	}
+}
+
 func TestDoDiffMissingHistoryIsGraceful(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_throughput.json")
 	fresh := []Entry{{Bench: "BenchmarkX", NsPerOp: 100}}

@@ -64,6 +64,7 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "cap on per-job deadlines (0 = unbounded)")
 		journalDir   = flag.String("journal-dir", "", "write-ahead journal every job here; on restart, acknowledged jobs are replayed (finished ones re-served, unfinished ones re-run)")
 		stallTimeout = flag.Duration("stall-timeout", 0, "reap running jobs whose simulation progress stalls this long (0 = no watchdog)")
+		sharedWarmup = flag.Bool("shared-warmup", false, "share warmup simulations across run jobs that differ only in prefetcher configuration (cache-warm-only methodology; forked measure phases)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long a SIGTERM drain may take before in-flight work is cancelled")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 		logFormat    = flag.String("log-format", "text", "log encoding: text | json")
@@ -127,6 +128,7 @@ func main() {
 		JobTimeout:   *jobTimeout,
 		JournalDir:   *journalDir,
 		StallTimeout: *stallTimeout,
+		SharedWarmup: *sharedWarmup,
 		Log:          logger,
 	})
 	if err != nil {

@@ -1,0 +1,24 @@
+package audit
+
+import (
+	"context"
+	"testing"
+)
+
+// TestForkDifferentialSuite is the shared-warmup acceptance gate: every
+// workload (the full bundled suite under AUDIT_FULL=1, the
+// class-spanning subset otherwise) runs cold and forked-from-snapshot,
+// and the two Results must be byte-identical.
+func TestForkDifferentialSuite(t *testing.T) {
+	names := suiteNames()
+	rep, err := RunForkSuite(context.Background(), names, RunOptions{})
+	if err != nil {
+		t.Fatalf("fork suite failed to run: %v", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("%v\n%s", err, rep.String())
+	}
+	if rep.Runs != 2*len(names) {
+		t.Fatalf("expected %d runs, got %d", 2*len(names), rep.Runs)
+	}
+}

@@ -153,6 +153,9 @@ type Core struct {
 	seqCode         int64
 
 	streamEnded bool
+	// fetchStopped gates dispatch during snapshot drain: the front-end
+	// stops feeding the ROB so in-flight work can retire to quiescence.
+	fetchStopped bool
 
 	// instr is the dispatch decode buffer: passing a stack variable's
 	// address through the trace.Stream interface would heap-allocate one
@@ -311,7 +314,7 @@ func (c *Core) NextEvent(now int64) int64 {
 		if c.fetchStallUntil < next {
 			next = c.fetchStallUntil
 		}
-	} else if !c.streamEnded && c.robCount < len(c.rob) {
+	} else if !c.streamEnded && !c.fetchStopped && c.robCount < len(c.rob) {
 		return now + 1
 	}
 
@@ -330,6 +333,9 @@ func (c *Core) AccountSkip(from, to int64) {
 		if pl.depSeq != 0 && !c.depResolved(from, pl.depSeq) {
 			c.Stats.DepBlocked += d
 		}
+	}
+	if c.fetchStopped {
+		return // dispatch is gated: no front-end stall accounting
 	}
 	if from < c.fetchStallUntil {
 		c.Stats.FetchStallCycles += d
@@ -408,6 +414,9 @@ func (c *Core) issueLoads(now int64) {
 }
 
 func (c *Core) dispatch(now int64) {
+	if c.fetchStopped {
+		return
+	}
 	if now < c.fetchStallUntil {
 		c.Stats.FetchStallCycles++
 		return

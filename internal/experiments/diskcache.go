@@ -143,6 +143,74 @@ func (d *diskCache) path(key string) string {
 	return filepath.Join(d.dir, key[:2], key+".json")
 }
 
+// blobPath is where opaque binary blobs (spilled warmup snapshots)
+// live, sharded like result entries but with an extension that says
+// "not JSON".
+func (d *diskCache) blobPath(key string) string {
+	return filepath.Join(d.dir, key[:2], key+".blob")
+}
+
+// The frame wrapping a binary blob: same one-line text header as
+// checkpoint entries, binary payload.
+//
+//	ipcp-blob-v1 <payload-bytes> <crc32c-hex>\n<...payload...>
+const blobMagic = "ipcp-blob-v1"
+
+// loadBlob returns the blob stored under key, or ok=false on any miss.
+// Like result entries, damage is quarantined and recomputed, never
+// decoded: a torn or bit-flipped snapshot must not fork simulations.
+func (d *diskCache) loadBlob(key string) ([]byte, bool) {
+	p := d.blobPath(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	payload, err := decodeBlob(data)
+	if err != nil {
+		d.quarantine(p, err)
+		return nil, false
+	}
+	return payload, true
+}
+
+// decodeBlob verifies a blob frame and returns its payload.
+func decodeBlob(data []byte) ([]byte, error) {
+	if !bytes.HasPrefix(data, []byte(blobMagic+" ")) {
+		return nil, fmt.Errorf("blob: bad magic")
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("blob: truncated header")
+	}
+	var n int
+	var crc uint32
+	if _, err := fmt.Sscanf(string(data[:nl]), blobMagic+" %d %08x", &n, &crc); err != nil {
+		return nil, fmt.Errorf("blob: malformed header: %w", err)
+	}
+	payload := data[nl+1:]
+	if n < 0 || len(payload) != n {
+		return nil, fmt.Errorf("blob: payload is %d bytes, header says %d", len(payload), n)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != crc {
+		return nil, fmt.Errorf("blob: crc mismatch (%08x != %08x)", got, crc)
+	}
+	return payload, nil
+}
+
+// storeBlob persists an opaque blob under key with the same
+// non-fatal-but-counted failure policy and tmp+fsync+rename durability
+// as result entries.
+func (d *diskCache) storeBlob(key string, payload []byte) {
+	p := d.blobPath(key)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %d %08x\n", blobMagic, len(payload), crc32.Checksum(payload, crcTable))
+	buf.Write(payload)
+	if err := d.writeFile(p, buf.Bytes()); err != nil {
+		d.storeFails.Add(1)
+		d.log.Warn("snapshot blob store failed", "path", p, "err", err)
+	}
+}
+
 // quarantineDir is where damaged entries are moved, never re-read.
 func (d *diskCache) quarantineDir() string { return filepath.Join(d.dir, "corrupt") }
 
@@ -205,11 +273,18 @@ func (d *diskCache) store(key, specKey string, res *sim.Result) {
 }
 
 func (d *diskCache) writeEntry(p string, e entry) error {
-	if err := chaos.At("checkpoint.save"); err != nil {
-		return err
-	}
 	data, err := encodeEntry(e)
 	if err != nil {
+		return err
+	}
+	return d.writeFile(p, data)
+}
+
+// writeFile is the shared durable-write discipline: chaos injection
+// point, temp file in the final directory, write, fsync, close, atomic
+// rename, directory fsync.
+func (d *diskCache) writeFile(p string, data []byte) error {
+	if err := chaos.At("checkpoint.save"); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {

@@ -245,6 +245,22 @@ type SessionStats struct {
 	// that failed to unwind within the abandon grace (simulations
 	// wedged beyond cooperative cancellation).
 	Abandoned int
+
+	// Shared-warmup (RunShared/RunSweep) dispositions.
+	//
+	// SnapshotMemHits counts forks served from a resident warmup
+	// snapshot; SnapshotDiskHits from a disk spill; SnapshotMisses are
+	// warmups that actually simulated. SnapshotBytes is the total
+	// spilled to disk. WarmupsCoalesced counts callers that waited on
+	// an in-flight warmup instead of running their own. ForkedRuns
+	// counts measure phases that ran from a snapshot (the fallback
+	// cold path counts under Executed only).
+	SnapshotMemHits  int
+	SnapshotDiskHits int
+	SnapshotMisses   int
+	SnapshotBytes    int64
+	WarmupsCoalesced int
+	ForkedRuns       int
 }
 
 // Session memoizes simulation results for one Scale.
@@ -255,15 +271,28 @@ type Session struct {
 	disk *diskCache
 	log  *slog.Logger
 
-	mu        sync.Mutex
-	cache     map[string]*outcome
-	faults    []RunFault
-	executed  int
-	memoHits  int
-	diskHits  int
-	coalesced int
-	abandoned int
-	sem       chan struct{}
+	mu           sync.Mutex
+	cache        map[string]*outcome
+	faults       []RunFault
+	executed     int
+	memoHits     int
+	diskHits     int
+	coalesced    int
+	abandoned    int
+	snapMisses   int
+	snapDiskHits int
+	snapBytes    int64
+	forkedRuns   int
+	sem          chan struct{}
+
+	// Shared-warmup snapshot store (see sweep.go): one single-flight
+	// entry per warmup identity, with a residency list bounding how
+	// many snapshots stay in memory.
+	snapMu           sync.Mutex
+	snaps            map[string]*snapEntry
+	snapResident     []string
+	snapMemHits      int
+	warmupsCoalesced int
 }
 
 // NewSession returns a Session running at the given scale.
@@ -284,6 +313,7 @@ func NewSessionContext(ctx context.Context, s Scale) *Session {
 		ctx:   ctx,
 		log:   slog.Default(),
 		cache: make(map[string]*outcome),
+		snaps: make(map[string]*snapEntry),
 		sem:   make(chan struct{}, n),
 	}
 }
@@ -333,14 +363,22 @@ func (s *Session) Executed() int {
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	st := SessionStats{
-		Executed:  s.executed,
-		MemoHits:  s.memoHits,
-		DiskHits:  s.diskHits,
-		Coalesced: s.coalesced,
-		Faults:    len(s.faults),
-		Abandoned: s.abandoned,
+		Executed:         s.executed,
+		MemoHits:         s.memoHits,
+		DiskHits:         s.diskHits,
+		Coalesced:        s.coalesced,
+		Faults:           len(s.faults),
+		Abandoned:        s.abandoned,
+		SnapshotMisses:   s.snapMisses,
+		SnapshotDiskHits: s.snapDiskHits,
+		SnapshotBytes:    s.snapBytes,
+		ForkedRuns:       s.forkedRuns,
 	}
 	s.mu.Unlock()
+	s.snapMu.Lock()
+	st.SnapshotMemHits = s.snapMemHits
+	st.WarmupsCoalesced = s.warmupsCoalesced
+	s.snapMu.Unlock()
 	if s.disk != nil {
 		st.StoreFailures = int(s.disk.storeFails.Load())
 		st.Quarantined = int(s.disk.quarantined.Load())
@@ -403,15 +441,18 @@ func (s *Session) RunContext(ctx context.Context, spec RunSpec) (*sim.Result, er
 		o := &outcome{done: make(chan struct{})}
 		s.cache[k] = o
 		s.mu.Unlock()
-		return s.lead(ctx, spec, k, o, span)
+		return s.lead(ctx, spec, k, s.diskKey(k), o, span, s.execute)
 	}
 }
 
 // lead resolves an in-flight cache entry as its leader: it loads or
 // executes the run, publishes the outcome, and wakes every coalesced
 // waiter. Exactly one goroutine leads each in-flight entry. span is the
-// caller's session.run span; lead stamps the outcome onto it.
-func (s *Session) lead(ctx context.Context, spec RunSpec, k string, o *outcome, span *telemetry.ActiveSpan) (*sim.Result, error) {
+// caller's session.run span; lead stamps the outcome onto it. dk is the
+// disk-cache address for this entry and exec the path that actually
+// simulates (classic warmup+measure, or a forked measure phase).
+func (s *Session) lead(ctx context.Context, spec RunSpec, k, dk string, o *outcome, span *telemetry.ActiveSpan,
+	exec func(context.Context, RunSpec) (*sim.Result, error)) (*sim.Result, error) {
 	resolve := func(res *sim.Result, err error) (*sim.Result, error) {
 		s.mu.Lock()
 		o.res, o.err = res, err
@@ -433,7 +474,7 @@ func (s *Session) lead(ctx context.Context, spec RunSpec, k string, o *outcome, 
 	}
 	if s.disk != nil {
 		_, lsp := telemetry.StartSpan(ctx, "checkpoint.load")
-		res, ok := s.disk.load(s.diskKey(k), k)
+		res, ok := s.disk.load(dk, k)
 		lsp.SetAttr("hit", strconv.FormatBool(ok))
 		lsp.End()
 		if ok {
@@ -445,14 +486,14 @@ func (s *Session) lead(ctx context.Context, spec RunSpec, k string, o *outcome, 
 		}
 	}
 	span.SetAttr("outcome", "executed")
-	res, err := s.execute(ctx, spec)
+	res, err := exec(ctx, spec)
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		return resolve(nil, err)
 	}
 	if s.disk != nil {
 		_, ssp := telemetry.StartSpan(ctx, "checkpoint.save")
-		s.disk.store(s.diskKey(k), k, res)
+		s.disk.store(dk, k, res)
 		ssp.End()
 	}
 	return resolve(res, nil)
@@ -515,52 +556,58 @@ func (s *Session) runContext(ctx context.Context) (context.Context, context.Canc
 }
 
 func (s *Session) execute(ctx context.Context, spec RunSpec) (res *sim.Result, err error) {
+	return runSlot(s, ctx, func(runCtx context.Context) (*sim.Result, error) {
+		s.mu.Lock()
+		s.executed++
+		s.mu.Unlock()
+		return s.buildAndRun(runCtx, spec)
+	})
+}
+
+// runSlot runs body under one concurrency slot. It is the one gate
+// every simulation phase passes through — classic runs, shared
+// warmups, and forked measure phases alike — so direct Run calls, the
+// multicore helpers and the serve layer all honor the cap, not just
+// RunAllPartial. The admission span makes NumCPU-saturation waits
+// visible in a job's trace next to its queue wait.
+//
+// The body runs in a child goroutine that never touches the semaphore;
+// the slot is released exactly once — when the body finishes, or when
+// a cancelled run fails to unwind within the abandon grace (a
+// simulation wedged somewhere the cycle loop's cancellation checks
+// can't reach, e.g. a blocked trace source). Reclaiming a wedged run's
+// slot keeps the session serving on small machines; if the zombie ever
+// resumes it transiently overcommits one CPU but can never
+// double-release the slot. A panic anywhere in the body — a buggy
+// prefetcher constructor, a corrupt trace stream, a simulator bug — is
+// converted into the run's error instead of crashing the session.
+func runSlot[T any](s *Session, ctx context.Context, body func(context.Context) (T, error)) (T, error) {
+	var zero T
 	runCtx, release := s.runContext(ctx)
 	defer release()
 
-	// The concurrency cap is enforced here — the one place every
-	// simulation passes through — so direct Run calls, the multicore
-	// helpers and the serve layer all honor it, not just RunAllPartial.
-	// The admission span makes NumCPU-saturation waits visible in a
-	// job's trace next to its queue wait.
 	_, adm := telemetry.StartSpan(runCtx, "session.admission")
 	select {
 	case s.sem <- struct{}{}:
 	case <-runCtx.Done():
 		adm.SetAttr("error", runCtx.Err().Error())
 		adm.End()
-		return nil, runCtx.Err()
+		return zero, runCtx.Err()
 	}
 	adm.End()
 
-	s.mu.Lock()
-	s.executed++
-	s.mu.Unlock()
-
-	// The build and cycle loop run in a child goroutine that never
-	// touches the semaphore; the slot is released exactly once, here —
-	// when the run finishes, or when a cancelled run fails to unwind
-	// within the abandon grace (a simulation wedged somewhere the cycle
-	// loop's cancellation checks can't reach, e.g. a blocked trace
-	// source). Reclaiming a wedged run's slot keeps the session serving
-	// on small machines; if the zombie ever resumes it transiently
-	// overcommits one CPU but can never double-release the slot.
 	type runOutcome struct {
-		res *sim.Result
+		res T
 		err error
 	}
 	done := make(chan runOutcome, 1)
 	go func() {
-		// A panic anywhere in the build or the cycle loop — a buggy
-		// prefetcher constructor, a corrupt trace stream, a simulator
-		// bug — is converted into this run's error instead of crashing
-		// the whole session.
 		defer func() {
 			if r := recover(); r != nil {
 				done <- runOutcome{err: &PanicError{Value: r, Stack: debug.Stack()}}
 			}
 		}()
-		res, err := s.buildAndRun(runCtx, spec)
+		res, err := body(runCtx)
 		done <- runOutcome{res: res, err: err}
 	}()
 	select {
@@ -577,7 +624,7 @@ func (s *Session) execute(ctx context.Context, spec RunSpec) (res *sim.Result, e
 			s.mu.Lock()
 			s.abandoned++
 			s.mu.Unlock()
-			return nil, fmt.Errorf("simulation abandoned after cancellation: %w", runCtx.Err())
+			return zero, fmt.Errorf("simulation abandoned after cancellation: %w", runCtx.Err())
 		}
 	}
 }
@@ -586,9 +633,18 @@ func (s *Session) execute(ctx context.Context, spec RunSpec) (res *sim.Result, e
 // cooperatively before execute reclaims its concurrency slot.
 const abandonGrace = 100 * time.Millisecond
 
-// buildAndRun is the simulation body of execute: config assembly,
-// stream construction, system build and the cycle loop.
-func (s *Session) buildAndRun(runCtx context.Context, spec RunSpec) (*sim.Result, error) {
+// specSeed resolves a spec's effective seed against the scale default.
+func (s *Session) specSeed(spec RunSpec) int64 {
+	if spec.Seed != 0 {
+		return spec.Seed
+	}
+	return s.Scale.Seed
+}
+
+// specConfig assembles the sim.Config a spec describes (shared by the
+// classic path, warmup leaders and forked measure phases — the three
+// must agree exactly for forked runs to be bit-identical to cold ones).
+func (s *Session) specConfig(spec RunSpec) sim.Config {
 	cores := spec.Cores
 	if cores == 0 {
 		cores = len(spec.Workloads)
@@ -622,13 +678,13 @@ func (s *Session) buildAndRun(runCtx context.Context, spec RunSpec) (*sim.Result
 	}
 	cfg.L2Prefetcher = sim.PrefetcherSpec{Name: spec.L2}
 	cfg.LLCPrefetcher = sim.PrefetcherSpec{Name: spec.LLC}
+	cfg.Seed = s.specSeed(spec)
+	return cfg
+}
 
-	seed := spec.Seed
-	if seed == 0 {
-		seed = s.Scale.Seed
-	}
-	cfg.Seed = seed
-
+// specStreams builds the spec's per-core trace streams.
+func (s *Session) specStreams(spec RunSpec) ([]trace.Stream, error) {
+	seed := s.specSeed(spec)
 	streams := make([]trace.Stream, 0, len(spec.Workloads))
 	for _, name := range spec.Workloads {
 		w, err := workload.Named(name)
@@ -637,7 +693,17 @@ func (s *Session) buildAndRun(runCtx context.Context, spec RunSpec) (*sim.Result
 		}
 		streams = append(streams, w.New(seed))
 	}
-	sys, err := sim.Build(cfg, streams)
+	return streams, nil
+}
+
+// buildAndRun is the simulation body of execute: config assembly,
+// stream construction, system build and the cycle loop.
+func (s *Session) buildAndRun(runCtx context.Context, spec RunSpec) (*sim.Result, error) {
+	streams, err := s.specStreams(spec)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := sim.Build(s.specConfig(spec), streams)
 	if err != nil {
 		return nil, err
 	}

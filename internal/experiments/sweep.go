@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"ipcp/internal/sim"
+	"ipcp/internal/telemetry"
+)
+
+// --- Shared-warmup sweep scheduling --------------------------------------
+//
+// A parameter sweep re-simulates the same (trace, scale, seed) warmup
+// once per grid point, although only the measure phase differs. The
+// shared-warmup path eliminates that: grid points are grouped by
+// warmup identity — the spec minus its prefetcher fields — each
+// distinct warmup runs exactly once under single-flight, its
+// post-warmup architectural state is snapshotted, and every sweep
+// point sharing the prefix forks from the snapshot and runs only its
+// measure phase. Forked runs are bit-identical to cold runs of the
+// same configuration through the CacheWarmOnly phase decomposition
+// (internal/sim, held to that by the fork determinism goldens and
+// `audit -fork`).
+//
+// Results from this path are memoized and checkpointed under their own
+// namespace ("sw|" keys, a distinct disk-key version): the
+// cache-warm-only methodology is a deliberately different experiment
+// semantics than the classic train-the-prefetcher-during-warmup path,
+// and the two must never cross-pollinate a cache.
+
+// snapMemCap bounds how many warmup snapshots stay resident: beyond
+// it, the oldest in-memory copy is dropped (re-loadable from its disk
+// spill when a cache directory is attached; re-warmed otherwise). A
+// multi-core snapshot is a few MB, so the cap bounds sweep memory at a
+// few tens of MB.
+const snapMemCap = 16
+
+// snapEntry is one warmup identity's single-flight slot.
+type snapEntry struct {
+	done chan struct{}
+	snap *sim.Snapshot // may be nil after eviction (spilled to disk)
+	err  error
+}
+
+// warmupKey is the spec's warmup identity: every field that shapes
+// post-warmup architectural state under CacheWarmOnly (workloads,
+// core count, system knobs, seed, warmup length) and none of the
+// prefetcher fields, which attach only at the measure boundary. Two
+// specs with equal warmup keys share one warmup.
+func (s *Session) warmupKey(spec RunSpec) string {
+	cores := spec.Cores
+	if cores == 0 {
+		cores = len(spec.Workloads)
+	}
+	return fmt.Sprintf("%v|%d|%s|%.1f|%d|%d|%d|%d|%d|%d|%d",
+		spec.Workloads, cores, spec.LLCRepl, spec.DRAMGBps,
+		spec.L1PQ, spec.L1MSHR, spec.L1DWays, spec.L2Sets,
+		spec.LLCSetsPerCore, s.specSeed(spec), s.Scale.Warmup)
+}
+
+// snapDiskKey is the content address of a warmup snapshot's disk spill.
+func (s *Session) snapDiskKey(wkey string) string {
+	h := sha256.Sum256(fmt.Appendf(nil, "ipcp-snap-v1|%s", wkey))
+	return hex.EncodeToString(h[:])
+}
+
+// diskKeyShared addresses shared-warmup results. A separate version
+// string from diskKey keeps the two methodologies' checkpoints apart
+// even though they share a cache directory.
+func (s *Session) diskKeyShared(specKey string) string {
+	h := sha256.Sum256(fmt.Appendf(nil, "ipcp-run-sw-v1|%d|%d|%d|%s",
+		s.Scale.Warmup, s.Scale.Measure, s.Scale.Seed, specKey))
+	return hex.EncodeToString(h[:])
+}
+
+// RunShared executes (or recalls) one simulation with the shared-warmup
+// methodology.
+func (s *Session) RunShared(spec RunSpec) (*sim.Result, error) {
+	return s.RunSharedContext(context.Background(), spec)
+}
+
+// RunSharedContext is RunContext's shared-warmup counterpart: the run's
+// warmup phase is satisfied from the session's snapshot store (warming
+// it on first use, under single-flight per warmup identity) and only
+// the measure phase simulates per call. Memoization, coalescing, disk
+// checkpointing, admission control and cancellation behave exactly as
+// in RunContext, under a separate "sw|" key namespace.
+//
+// If the snapshot path fails non-fatally — a drain that cannot reach
+// quiescence, say — the run falls back to a cold run through the same
+// CacheWarmOnly phases, so the result semantics are unchanged; only
+// the warmup sharing is lost.
+func (s *Session) RunSharedContext(ctx context.Context, spec RunSpec) (*sim.Result, error) {
+	k := "sw|" + spec.Key()
+	ctx, span := telemetry.StartSpan(ctx, "session.run")
+	defer span.End()
+	span.SetAttr("warmup_shared", "true")
+	for {
+		s.mu.Lock()
+		if o, ok := s.cache[k]; ok {
+			select {
+			case <-o.done:
+				s.memoHits++
+				s.mu.Unlock()
+				span.SetAttr("outcome", "memo-hit")
+				return o.res, o.err
+			default:
+			}
+			s.coalesced++
+			s.mu.Unlock()
+			span.SetAttr("outcome", "coalesced")
+			select {
+			case <-o.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-s.ctx.Done():
+				return nil, s.ctx.Err()
+			}
+			if o.err != nil && fatal(o.err) {
+				if err := firstError(ctx.Err(), s.ctx.Err()); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return o.res, o.err
+		}
+		o := &outcome{done: make(chan struct{})}
+		s.cache[k] = o
+		s.mu.Unlock()
+		return s.lead(ctx, spec, k, s.diskKeyShared(k), o, span, s.executeShared)
+	}
+}
+
+// RunSweep executes a sweep grid with shared warmups, returning results
+// and errors in spec order (entry i holds one or the other). Specs
+// sharing a warmup identity — typically a prefetcher sweep over one
+// workload — run one warmup between them and fork the rest; distinct
+// identities warm concurrently under the session's admission cap.
+func (s *Session) RunSweep(specs []RunSpec) ([]*sim.Result, []error) {
+	results := make([]*sim.Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.RunShared(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// executeShared is the shared-warmup execution body behind lead: fork
+// from the warmup snapshot when one can be had, cold-run through the
+// same phases when not.
+func (s *Session) executeShared(ctx context.Context, spec RunSpec) (*sim.Result, error) {
+	snap, err := s.snapshotFor(ctx, spec)
+	if err != nil {
+		if fatal(err) {
+			return nil, err
+		}
+		// Snapshot path degraded (e.g. the workload never drains to
+		// quiescence): cold-run this point through the identical
+		// CacheWarmOnly phases so its result semantics are unchanged.
+		s.log.Warn("shared warmup unavailable; falling back to cold run",
+			"spec", spec.Key(), "err", err)
+		return runSlot(s, ctx, func(runCtx context.Context) (*sim.Result, error) {
+			s.mu.Lock()
+			s.executed++
+			s.mu.Unlock()
+			sys, err := s.buildShared(spec)
+			if err != nil {
+				return nil, err
+			}
+			return sys.RunContext(runCtx, s.Scale.Warmup, s.Scale.Measure)
+		})
+	}
+	return runSlot(s, ctx, func(runCtx context.Context) (*sim.Result, error) {
+		s.mu.Lock()
+		s.executed++
+		s.forkedRuns++
+		s.mu.Unlock()
+		sys, err := s.buildShared(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.RestoreSnapshot(snap); err != nil {
+			return nil, err
+		}
+		if err := sys.AttachPrefetchers(); err != nil {
+			return nil, err
+		}
+		return sys.RunMeasure(runCtx, s.Scale.Measure)
+	})
+}
+
+// buildShared builds the spec's system in CacheWarmOnly mode.
+func (s *Session) buildShared(spec RunSpec) (*sim.System, error) {
+	streams, err := s.specStreams(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.specConfig(spec)
+	cfg.CacheWarmOnly = true
+	return sim.Build(cfg, streams)
+}
+
+// snapshotFor returns the warmup snapshot for spec's warmup identity,
+// running the warmup (exactly once per identity, under single-flight)
+// or recalling it from memory or the disk spill. The returned snapshot
+// is shared and immutable; RestoreSnapshot deep-copies out of it.
+func (s *Session) snapshotFor(ctx context.Context, spec RunSpec) (*sim.Snapshot, error) {
+	wkey := s.warmupKey(spec)
+	for {
+		s.snapMu.Lock()
+		if e, ok := s.snaps[wkey]; ok {
+			select {
+			case <-e.done: // resolved
+			default: // warmup in flight: coalesce
+				s.warmupsCoalesced++
+				s.snapMu.Unlock()
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-s.ctx.Done():
+					return nil, s.ctx.Err()
+				}
+				if e.err != nil && fatal(e.err) {
+					// The leader was interrupted and its entry removed;
+					// retry as the new leader if we are still live.
+					if err := firstError(ctx.Err(), s.ctx.Err()); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				if e.err != nil {
+					return nil, e.err
+				}
+				s.snapMu.Lock()
+			}
+			if e.err != nil {
+				s.snapMu.Unlock()
+				return nil, e.err
+			}
+			if e.snap != nil {
+				s.snapMemHits++
+				s.snapMu.Unlock()
+				return e.snap, nil
+			}
+			// Evicted from memory: re-load the disk spill.
+			s.snapMu.Unlock()
+			if snap, ok := s.loadSnapshotSpill(ctx, wkey); ok {
+				return snap, nil
+			}
+			// The spill is gone (cache wiped, quarantined, or no cache
+			// directory): forget the entry and re-lead the warmup.
+			s.snapMu.Lock()
+			if cur, ok := s.snaps[wkey]; ok && cur == e {
+				delete(s.snaps, wkey)
+			}
+			s.snapMu.Unlock()
+			continue
+		}
+		e := &snapEntry{done: make(chan struct{})}
+		s.snaps[wkey] = e
+		s.snapMu.Unlock()
+		return s.leadWarmup(ctx, spec, wkey, e)
+	}
+}
+
+// leadWarmup resolves a snapshot entry as its leader: disk spill if
+// present, else run the warmup under a concurrency slot, snapshot, and
+// spill. Fatal outcomes are removed before publishing so later callers
+// retry rather than inherit an interruption.
+func (s *Session) leadWarmup(ctx context.Context, spec RunSpec, wkey string, e *snapEntry) (*sim.Snapshot, error) {
+	resolve := func(snap *sim.Snapshot, err error) (*sim.Snapshot, error) {
+		s.snapMu.Lock()
+		e.snap, e.err = snap, err
+		if err != nil && fatal(err) {
+			delete(s.snaps, wkey)
+		}
+		if snap != nil {
+			s.evictSnapshotsLocked(wkey)
+		}
+		s.snapMu.Unlock()
+		close(e.done)
+		return snap, err
+	}
+
+	if err := firstError(ctx.Err(), s.ctx.Err()); err != nil {
+		return resolve(nil, err)
+	}
+	if snap, ok := s.loadSnapshotSpill(ctx, wkey); ok {
+		return resolve(snap, nil)
+	}
+
+	snap, err := runSlot(s, ctx, func(runCtx context.Context) (*sim.Snapshot, error) {
+		runCtx, wsp := telemetry.StartSpan(runCtx, "session.warmup")
+		defer wsp.End()
+		s.mu.Lock()
+		s.snapMisses++
+		s.mu.Unlock()
+		sys, err := s.buildShared(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.RunWarmup(runCtx, s.Scale.Warmup); err != nil {
+			return nil, err
+		}
+		return sys.Snapshot()
+	})
+	if err != nil {
+		return resolve(nil, err)
+	}
+	if s.disk != nil {
+		if data, err := sim.EncodeSnapshot(snap); err == nil {
+			s.disk.storeBlob(s.snapDiskKey(wkey), data)
+			s.mu.Lock()
+			s.snapBytes += int64(len(data))
+			s.mu.Unlock()
+		} else {
+			s.log.Warn("snapshot encode failed; not spilled", "warmup", wkey, "err", err)
+		}
+	}
+	return resolve(snap, nil)
+}
+
+// loadSnapshotSpill loads and decodes a spilled snapshot. A blob that
+// fails its frame check was already quarantined by loadBlob; one that
+// fails gob decoding is dropped here the same way (never trusted).
+func (s *Session) loadSnapshotSpill(ctx context.Context, wkey string) (*sim.Snapshot, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	_, lsp := telemetry.StartSpan(ctx, "snapshot.load")
+	defer lsp.End()
+	data, ok := s.disk.loadBlob(s.snapDiskKey(wkey))
+	lsp.SetAttr("hit", strconv.FormatBool(ok))
+	if !ok {
+		return nil, false
+	}
+	snap, err := sim.DecodeSnapshot(data)
+	if err != nil {
+		s.disk.quarantine(s.disk.blobPath(s.snapDiskKey(wkey)), err)
+		lsp.SetAttr("error", err.Error())
+		return nil, false
+	}
+	s.mu.Lock()
+	s.snapDiskHits++
+	s.mu.Unlock()
+	return snap, true
+}
+
+// evictSnapshotsLocked appends wkey to the residency list and drops the
+// oldest in-memory snapshots beyond the cap (their entries stay — the
+// warmup is done — only the resident copy goes; a later fork reloads
+// the spill or, with no cache directory, re-warms). Callers hold
+// snapMu.
+func (s *Session) evictSnapshotsLocked(wkey string) {
+	s.snapResident = append(s.snapResident, wkey)
+	for len(s.snapResident) > snapMemCap {
+		oldest := s.snapResident[0]
+		s.snapResident = s.snapResident[1:]
+		if e, ok := s.snaps[oldest]; ok {
+			select {
+			case <-e.done:
+				e.snap = nil
+			default:
+				// Still in flight (shouldn't happen — residency is
+				// recorded at resolve — but never evict an unresolved
+				// entry).
+				s.snapResident = append(s.snapResident, oldest)
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ipcp/internal/sim"
+)
+
+// sweepScale is tiny: sharing correctness, not speed, is under test.
+var sweepScale = Scale{Warmup: 2000, Measure: 5000, Seed: 1}
+
+// sweepGrid is a prefetcher sweep over two workloads: six points per
+// workload sharing one warmup identity each.
+func sweepGrid() []RunSpec {
+	var specs []RunSpec
+	for _, w := range []string{"mcf-994", "bwaves-98"} {
+		for _, l1d := range []string{"", "ipcp", "spp"} {
+			for _, l2 := range []string{"", "ipcp"} {
+				specs = append(specs, RunSpec{Workloads: []string{w}, L1D: l1d, L2: l2})
+			}
+		}
+	}
+	return specs
+}
+
+func marshalResult(t *testing.T, res *sim.Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRunSweepSharesWarmup is the scheduler invariant: a grid of
+// 2 workloads × 6 prefetcher points runs exactly 2 warmups, and every
+// measure phase forks.
+func TestRunSweepSharesWarmup(t *testing.T) {
+	s := NewSession(sweepScale)
+	specs := sweepGrid()
+	results, errs := s.RunSweep(specs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("spec %d (%s): %v", i, specs[i].Key(), err)
+		}
+		if results[i] == nil {
+			t.Fatalf("spec %d: nil result", i)
+		}
+	}
+	st := s.Stats()
+	if st.SnapshotMisses != 2 {
+		t.Errorf("SnapshotMisses = %d, want 2 (one warmup per workload)", st.SnapshotMisses)
+	}
+	if st.ForkedRuns != len(specs) {
+		t.Errorf("ForkedRuns = %d, want %d", st.ForkedRuns, len(specs))
+	}
+	if got := st.SnapshotMemHits + st.WarmupsCoalesced; got < len(specs)-2 {
+		t.Errorf("mem hits (%d) + coalesced warmups (%d) = %d, want >= %d",
+			st.SnapshotMemHits, st.WarmupsCoalesced, got, len(specs)-2)
+	}
+}
+
+// TestRunSharedMatchesColdSharedRun is the scheduler-level determinism
+// golden: a forked result must be bit-identical to a cold run through
+// the same CacheWarmOnly phases.
+func TestRunSharedMatchesColdSharedRun(t *testing.T) {
+	spec := RunSpec{Workloads: []string{"mcf-994"}, L1D: "ipcp", L2: "ipcp"}
+
+	s := NewSession(sweepScale)
+	forked, err := s.RunShared(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ForkedRuns != 1 {
+		t.Fatalf("ForkedRuns = %d, want 1 (the run did not fork)", st.ForkedRuns)
+	}
+
+	sys, err := s.buildShared(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sys.RunContext(context.Background(), sweepScale.Warmup, sweepScale.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, c := marshalResult(t, forked), marshalResult(t, cold); f != c {
+		t.Errorf("forked result diverges from cold shared run:\nforked: %s\ncold:   %s", f, c)
+	}
+}
+
+// TestRunSharedMemoNamespace proves shared-warmup results and classic
+// results never collide in the memo cache: the same spec through both
+// paths yields two executions with different semantics.
+func TestRunSharedMemoNamespace(t *testing.T) {
+	spec := RunSpec{Workloads: []string{"mcf-994"}, L1D: "ipcp"}
+	s := NewSession(sweepScale)
+	if _, err := s.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunShared(spec); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.MemoHits != 0 {
+		t.Errorf("MemoHits = %d: shared and classic paths shared a memo entry", st.MemoHits)
+	}
+	if st.Executed != 2 {
+		t.Errorf("Executed = %d, want 2", st.Executed)
+	}
+
+	// And a second shared call is a memo hit.
+	if _, err := s.RunShared(spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.MemoHits != 1 {
+		t.Errorf("MemoHits = %d after repeat shared run, want 1", st.MemoHits)
+	}
+}
+
+// TestSweepSnapshotSpillResume points a second session at the first
+// session's cache directory and sweeps a NEW prefetcher point: the
+// result is not checkpointed, but the warmup snapshot spill is, so the
+// new point forks from disk without re-warming.
+func TestSweepSnapshotSpillResume(t *testing.T) {
+	dir := t.TempDir()
+	base := RunSpec{Workloads: []string{"mcf-994"}, L1D: "ipcp"}
+
+	s1 := NewSession(sweepScale)
+	if err := s1.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s1.RunShared(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s1.Stats(); st.SnapshotMisses != 1 || st.SnapshotBytes == 0 {
+		t.Fatalf("first session: misses=%d bytes=%d, want 1 warmup spilled", st.SnapshotMisses, st.SnapshotBytes)
+	}
+
+	s2 := NewSession(sweepScale)
+	if err := s2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Same spec: a disk checkpoint hit, no simulation at all.
+	again, err := s2.RunShared(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshalResult(t, again) != marshalResult(t, first) {
+		t.Error("disk-checkpointed shared result diverges")
+	}
+	// New prefetcher point, same warmup identity: forks from the spill.
+	novel := base
+	novel.L1D = "spp"
+	if _, err := s2.RunShared(novel); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1 (the repeated spec)", st.DiskHits)
+	}
+	if st.SnapshotDiskHits != 1 {
+		t.Errorf("SnapshotDiskHits = %d, want 1 (the novel spec's warmup)", st.SnapshotDiskHits)
+	}
+	if st.SnapshotMisses != 0 {
+		t.Errorf("SnapshotMisses = %d, want 0 (no warmup should re-run)", st.SnapshotMisses)
+	}
+	if st.ForkedRuns != 1 {
+		t.Errorf("ForkedRuns = %d, want 1", st.ForkedRuns)
+	}
+}
+
+// TestSweepCancelledWarmupRetries mirrors the memo-cache rule for
+// snapshots: a warmup interrupted by one caller's context must not
+// poison the entry for callers whose contexts are live.
+func TestSweepCancelledWarmupRetries(t *testing.T) {
+	s := NewSession(sweepScale)
+	spec := RunSpec{Workloads: []string{"mcf-994"}, L1D: "ipcp"}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: the leader resolves fatally and unpublishes
+	if _, err := s.RunSharedContext(ctx, spec); err == nil {
+		t.Fatal("cancelled shared run succeeded")
+	}
+	if _, err := s.RunShared(spec); err != nil {
+		t.Fatalf("live retry after cancelled warmup: %v", err)
+	}
+}

@@ -142,6 +142,7 @@ type drrip struct {
 	sets    int
 	psel    int
 	rng     *rand.Rand
+	draws   uint64 // BRRIP coin flips, for replay-based snapshot restore
 	leaders []int8 // per set: +1 SRRIP leader, -1 BRRIP leader, 0 follower
 }
 
@@ -188,6 +189,7 @@ func (d *drrip) fillRRPV(set int) uint8 {
 	}
 	if useBRRIP {
 		// BRRIP: mostly distant (RRPV max), occasionally long.
+		d.draws++
 		if d.rng.Intn(32) == 0 {
 			return rrpvMax - 1
 		}
@@ -271,8 +273,9 @@ func (s *ship) Fill(set, way int, r *memsys.Request) {
 // --- Random ------------------------------------------------------------
 
 type random struct {
-	ways int
-	rng  *rand.Rand
+	ways  int
+	rng   *rand.Rand
+	draws uint64 // victim picks, for replay-based snapshot restore
 }
 
 // NewRandom returns a uniformly random victim policy (testing baseline).
@@ -283,4 +286,7 @@ func NewRandom(sets, ways int) Policy {
 func (p *random) Name() string                          { return "random" }
 func (p *random) Hit(set, way int, _ *memsys.Request)   {}
 func (p *random) Fill(set, way int, _ *memsys.Request)  {}
-func (p *random) Victim(set int, _ *memsys.Request) int { return p.rng.Intn(p.ways) }
+func (p *random) Victim(set int, _ *memsys.Request) int {
+	p.draws++
+	return p.rng.Intn(p.ways)
+}

@@ -204,6 +204,20 @@ func (s *Server) writePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "ipcpd_session_runs_total{disposition=\"coalesced\"} %d\n", m.Session.Coalesced)
 	fmt.Fprintf(w, "ipcpd_session_runs_total{disposition=\"fault\"} %d\n", m.Session.Faults)
 
+	telemetry.WritePrometheusHeader(w, "ipcpd_snapshot_store_total", "counter",
+		"Shared-warmup snapshot dispositions: forks served from memory or "+
+			"the disk spill, and warmups that had to simulate.")
+	fmt.Fprintf(w, "ipcpd_snapshot_store_total{disposition=\"mem_hit\"} %d\n", m.Session.SnapshotMemHits)
+	fmt.Fprintf(w, "ipcpd_snapshot_store_total{disposition=\"disk_hit\"} %d\n", m.Session.SnapshotDiskHits)
+	fmt.Fprintf(w, "ipcpd_snapshot_store_total{disposition=\"miss\"} %d\n", m.Session.SnapshotMisses)
+	telemetry.WritePrometheusValue(w, "ipcpd_snapshot_bytes_total", "counter",
+		"Warmup snapshot bytes spilled to the disk cache.", float64(m.Session.SnapshotBytes))
+	telemetry.WritePrometheusValue(w, "ipcpd_warmups_coalesced_total", "counter",
+		"Run jobs that reused an in-flight shared warmup instead of running their own.",
+		float64(m.Session.WarmupsCoalesced))
+	telemetry.WritePrometheusValue(w, "ipcpd_forked_runs_total", "counter",
+		"Measure phases forked from a warmup snapshot.", float64(m.Session.ForkedRuns))
+
 	telemetry.WritePrometheusValue(w, "ipcpd_checkpoints_quarantined", "counter",
 		"Corrupt checkpoint files detected on load and moved to the corrupt/ subdirectory.",
 		float64(m.Session.Quarantined))

@@ -414,6 +414,68 @@ func TestMetricsSnapshotShape(t *testing.T) {
 	}
 }
 
+// TestSharedWarmupServer drives the -shared-warmup daemon path: two
+// runs differing only in prefetcher configuration share one warmup,
+// the snapshot-store counters surface in both /metrics encodings, and
+// forked jobs carry the warmup_shared span attribute.
+func TestSharedWarmupServer(t *testing.T) {
+	s := newTestServer(t, Options{SharedWarmup: true})
+
+	a := s.submitRun(t, runRequest{Workloads: []string{"bwaves-98"}, L1D: "ipcp"}, http.StatusAccepted)
+	s.await(t, a.ID, 10*time.Second)
+	b := s.submitRun(t, runRequest{Workloads: []string{"bwaves-98"}, L1D: "spp"}, http.StatusAccepted)
+	s.await(t, b.ID, 10*time.Second)
+
+	resp, body := s.get(t, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	var m MetricsSnapshot
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("decoding metrics %s: %v", body, err)
+	}
+	if m.Session.SnapshotMisses != 1 {
+		t.Errorf("snapshot misses = %d, want 1 (one warmup for both jobs)", m.Session.SnapshotMisses)
+	}
+	if m.Session.ForkedRuns != 2 {
+		t.Errorf("forked runs = %d, want 2", m.Session.ForkedRuns)
+	}
+	if m.Session.SnapshotMemHits != 1 {
+		t.Errorf("snapshot mem hits = %d, want 1 (second job forks the resident snapshot)", m.Session.SnapshotMemHits)
+	}
+
+	// The same counters must reach Prometheus scrapers.
+	req, _ := http.NewRequest(http.MethodGet, s.ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	promResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	prom.ReadFrom(promResp.Body)
+	promResp.Body.Close()
+	for _, want := range []string{
+		`ipcpd_snapshot_store_total{disposition="miss"} 1`,
+		`ipcpd_snapshot_store_total{disposition="mem_hit"} 1`,
+		"ipcpd_forked_runs_total 2",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus exposition lacks %q", want)
+		}
+	}
+
+	// Both jobs' spans are tagged as shared-warmup runs.
+	for _, id := range []string{a.ID, b.ID} {
+		resp, traceBody := s.get(t, "/v1/runs/"+id+"/trace")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trace for %s = %d", id, resp.StatusCode)
+		}
+		if !bytes.Contains(traceBody, []byte("warmup_shared")) {
+			t.Errorf("job %s trace lacks the warmup_shared attribute", id)
+		}
+	}
+}
+
 // TestEventsFollowLiveJob streams events while the job is still
 // running: the started event must arrive before release, the terminal
 // event after.

@@ -70,6 +70,12 @@ type Options struct {
 	// JobTimeout caps every job's per-request timeout_ms; 0 means
 	// requests may run unbounded.
 	JobTimeout time.Duration
+	// SharedWarmup routes run jobs through the session's shared-warmup
+	// scheduler: jobs differing only in prefetcher configuration share
+	// one warmup simulation and fork their measure phases from its
+	// snapshot. Results use the cache-warm-only methodology (see
+	// DESIGN.md §15) and are cached separately from classic runs.
+	SharedWarmup bool
 	// JournalDir, when set, write-ahead journals every job's
 	// submit/start/finish to CRC-framed, fsynced segment files. On
 	// startup the journal is replayed: finished jobs are re-served
@@ -511,7 +517,14 @@ func (s *Server) runJob(j *Job) {
 	go func() {
 		switch j.Kind {
 		case KindRun:
-			res, err := s.session.RunContext(ctx, j.Spec)
+			var res *sim.Result
+			var err error
+			if s.opts.SharedWarmup {
+				jobSpan.SetAttr("warmup_shared", "true")
+				res, err = s.session.RunSharedContext(ctx, j.Spec)
+			} else {
+				res, err = s.session.RunContext(ctx, j.Spec)
+			}
 			outc <- outcome{res: res, err: err}
 		case KindExperiments:
 			rep, err := experiments.RunIDs(ctx, s.session, j.ExpIDs,
@@ -1021,13 +1034,24 @@ type MetricsSnapshot struct {
 	// job layer (memo, disk checkpoint, single-flight coalescing), plus
 	// the checkpoint store's durability counters.
 	Session struct {
-		Executed      int    `json:"executed"`
-		MemoHits      int    `json:"memo_hits"`
-		DiskHits      int    `json:"disk_hits"`
-		Coalesced     int    `json:"coalesced"`
-		Faults        int    `json:"faults"`
-		StoreFailures int    `json:"store_failures"`
-		Quarantined   int    `json:"quarantined"`
+		Executed      int `json:"executed"`
+		MemoHits      int `json:"memo_hits"`
+		DiskHits      int `json:"disk_hits"`
+		Coalesced     int `json:"coalesced"`
+		Faults        int `json:"faults"`
+		StoreFailures int `json:"store_failures"`
+		Quarantined   int `json:"quarantined"`
+
+		// Shared-warmup dispositions (all zero unless the daemon runs
+		// with -shared-warmup): how warmup snapshots were satisfied,
+		// bytes spilled to disk, warmups coalesced onto an in-flight
+		// leader, and measure phases forked from a snapshot.
+		SnapshotMemHits  int   `json:"snapshot_mem_hits"`
+		SnapshotDiskHits int   `json:"snapshot_disk_hits"`
+		SnapshotMisses   int   `json:"snapshot_misses"`
+		SnapshotBytes    int64 `json:"snapshot_bytes"`
+		WarmupsCoalesced int   `json:"warmups_coalesced"`
+		ForkedRuns       int   `json:"forked_runs"`
 	} `json:"session"`
 
 	// Journal counters: the WAL's health this process life. AppendErrors
@@ -1071,6 +1095,12 @@ func (s *Server) Metrics() MetricsSnapshot {
 	m.Session.Faults = st.Faults
 	m.Session.StoreFailures = st.StoreFailures
 	m.Session.Quarantined = st.Quarantined
+	m.Session.SnapshotMemHits = st.SnapshotMemHits
+	m.Session.SnapshotDiskHits = st.SnapshotDiskHits
+	m.Session.SnapshotMisses = st.SnapshotMisses
+	m.Session.SnapshotBytes = st.SnapshotBytes
+	m.Session.WarmupsCoalesced = st.WarmupsCoalesced
+	m.Session.ForkedRuns = st.ForkedRuns
 	if s.journal != nil {
 		m.Journal.Enabled = true
 		m.Journal.ReplayedJobs = s.journal.replayed.Load()

@@ -69,6 +69,19 @@ type Config struct {
 	// fail-safety. Tests that want raw panics opt out.
 	DisableGuard bool
 
+	// CacheWarmOnly selects the shared-warmup methodology: Build leaves
+	// every prefetcher detached (the no-op Nil), so the warmup phase
+	// warms caches, TLBs and branch predictors only, making the
+	// post-warmup architectural state independent of the prefetcher
+	// configuration. AttachPrefetchers installs the configured
+	// prefetchers cold at the measure boundary; RunContext then routes
+	// through RunWarmup (which drains to quiescence) + AttachPrefetchers
+	// + RunMeasure. This is what lets one warmup be snapshotted once and
+	// forked across every sweep point that differs only in prefetchers.
+	// Off (the default), warmup trains prefetchers too and the classic
+	// single-phase RunContext path is used, byte for byte.
+	CacheWarmOnly bool
+
 	// MaxCycles aborts a run that fails to make progress (a deadlock
 	// guard; 0 means a generous default is derived from the
 	// instruction budget).
@@ -148,6 +161,10 @@ func (c Config) validate() error {
 	if c.LLC.Sets&(c.LLC.Sets-1) != 0 {
 		return fmt.Errorf("sim: LLC sets (%d) must be a power of two; "+
 			"PaperConfig requires a power-of-two core count", c.LLC.Sets)
+	}
+	if c.CacheWarmOnly && c.Audit != nil {
+		return fmt.Errorf("sim: CacheWarmOnly and Audit are mutually exclusive " +
+			"(the audit oracles attach to prefetchers at build time)")
 	}
 	return nil
 }

@@ -36,6 +36,14 @@ type System struct {
 	// component.
 	pool *memsys.RequestPool
 
+	// alloc is the shared physical-page allocator (captured and replayed
+	// by the snapshot machinery).
+	alloc *vmem.PhysAllocator
+
+	// pfAttached records that AttachPrefetchers already ran (the
+	// CacheWarmOnly measure boundary is one-shot).
+	pfAttached bool
+
 	// guards are the fail-safe wrappers Build placed around the
 	// attached prefetchers (empty when cfg.DisableGuard).
 	guards []guardRef
@@ -154,14 +162,17 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 		return nil, err
 	}
 	llc.SetLower(mem)
-	llcPf, err := cfg.LLCPrefetcher.build(memsys.LevelLLC)
-	if err != nil {
-		return nil, err
+	if !cfg.CacheWarmOnly {
+		llcPf, err := cfg.LLCPrefetcher.build(memsys.LevelLLC)
+		if err != nil {
+			return nil, err
+		}
+		llc.SetPrefetcher(s.guardPf(llcPf, memsys.LevelLLC, -1))
 	}
-	llc.SetPrefetcher(s.guardPf(llcPf, memsys.LevelLLC, -1))
 	s.llc = llc
 
 	alloc := vmem.NewPhysAllocator(cfg.Seed)
+	s.alloc = alloc
 
 	for i := 0; i < cfg.Cores; i++ {
 		l2Cfg := cfg.L2
@@ -171,11 +182,13 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 			return nil, err
 		}
 		l2.SetLower(llc)
-		l2Pf, err := cfg.L2Prefetcher.build(memsys.LevelL2)
-		if err != nil {
-			return nil, err
+		if !cfg.CacheWarmOnly {
+			l2Pf, err := cfg.L2Prefetcher.build(memsys.LevelL2)
+			if err != nil {
+				return nil, err
+			}
+			l2.SetPrefetcher(s.guardPf(l2Pf, memsys.LevelL2, i))
 		}
-		l2.SetPrefetcher(s.guardPf(l2Pf, memsys.LevelL2, i))
 
 		l1dCfg := cfg.L1D
 		l1dCfg.Name = fmt.Sprintf("L1D.%d", i)
@@ -184,11 +197,13 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 			return nil, err
 		}
 		l1d.SetLower(l2)
-		l1dPf, err := cfg.L1DPrefetcher.build(memsys.LevelL1D)
-		if err != nil {
-			return nil, err
+		if !cfg.CacheWarmOnly {
+			l1dPf, err := cfg.L1DPrefetcher.build(memsys.LevelL1D)
+			if err != nil {
+				return nil, err
+			}
+			l1d.SetPrefetcher(s.guardPf(l1dPf, memsys.LevelL1D, i))
 		}
-		l1d.SetPrefetcher(s.guardPf(l1dPf, memsys.LevelL1D, i))
 
 		l1iCfg := cfg.L1I
 		l1iCfg.Name = fmt.Sprintf("L1I.%d", i)
@@ -197,11 +212,13 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 			return nil, err
 		}
 		l1i.SetLower(l2)
-		l1iPf, err := cfg.L1IPrefetcher.build(memsys.LevelL1I)
-		if err != nil {
-			return nil, err
+		if !cfg.CacheWarmOnly {
+			l1iPf, err := cfg.L1IPrefetcher.build(memsys.LevelL1I)
+			if err != nil {
+				return nil, err
+			}
+			l1i.SetPrefetcher(s.guardPf(l1iPf, memsys.LevelL1I, i))
 		}
-		l1i.SetPrefetcher(s.guardPf(l1iPf, memsys.LevelL1I, i))
 
 		core, err := cpu.New(i, cfg.Core, streams[i], alloc)
 		if err != nil {
@@ -574,6 +591,18 @@ const cancelCheckInterval = 4096
 // existing per-few-thousand-cycles branch, so a context carrying
 // neither costs the cycle loop nothing.
 func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (res *Result, err error) {
+	// The shared-warmup methodology decomposes the run into the same
+	// phases a forked run uses, so cold and forked runs execute
+	// identical code from the measure boundary on.
+	if s.cfg.CacheWarmOnly {
+		if err := s.RunWarmup(ctx, warmup); err != nil {
+			return nil, err
+		}
+		if err := s.AttachPrefetchers(); err != nil {
+			return nil, err
+		}
+		return s.RunMeasure(ctx, measure)
+	}
 	progress := telemetry.ProgressFrom(ctx)
 	report := func(phase string, target uint64) {
 		if progress != nil {

@@ -1,0 +1,409 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// --- Pre-decoded binary format (version 2) -------------------------------
+//
+// The v1 format (IPCPTRC1) optimizes for size: variable-width records
+// whose flag byte says which operands follow. Replaying it costs a
+// branch-heavy decode per instruction. This format optimizes for replay:
+// fixed-width 48-byte records that memory-map cleanly and decode with
+// five unconditional loads, so measure-phase replay does no tokenizing
+// at all and record i lives at a computable offset.
+//
+// Layout (all integers little-endian):
+//
+//	offset  0: magic "IPCPTRB2" (8 bytes)
+//	offset  8: count       uint64 — number of records
+//	offset 16: recordSize  uint32 — 48 (self-describing for evolution)
+//	offset 20: blockRecords uint32 — records per CRC block (4096)
+//	offset 24: sourceHash  [32]byte — SHA-256 of the source trace this
+//	           file was derived from (zero when written directly); the
+//	           .bin sidecar cache keys its validity on this field
+//	offset 56: headerCRC   uint32 — CRC-32C of bytes [0,56)
+//	offset 60: pad         uint32 — zero
+//	offset 64: count × 48-byte records
+//	then:      ceil(count/blockRecords) × uint32 — CRC-32C per block of
+//	           record bytes (the last block covers the remainder)
+//
+// Record (48 bytes): IP, Loads[0], Loads[1], Stores[0], Target as
+// uint64, then a flags byte (bit0 IsBranch, bit1 Taken, bit2 DepPrev;
+// the rest reserved and zero), then 7 zero pad bytes.
+//
+// Integrity: the header is covered by its own CRC; record blocks are
+// verified lazily — the first cursor to touch a block checks its CRC
+// and publishes the result in a shared atomic bitset, so a trace opened
+// by many concurrent forks pays each block's verification once. Any
+// damage (bad magic, size mismatch, CRC failure, reserved bits) wraps
+// ErrCorrupt.
+
+var magic2 = [8]byte{'I', 'P', 'C', 'P', 'T', 'R', 'B', '2'}
+
+const (
+	binHeaderSize   = 64
+	binRecordSize   = 48
+	binBlockRecords = 4096
+
+	binFlagBranch  = 1 << 0
+	binFlagTaken   = 1 << 1
+	binFlagDepPrev = 1 << 2
+	binFlagsUnused = ^byte(binFlagBranch | binFlagTaken | binFlagDepPrev)
+)
+
+// binCRCTable is the Castagnoli table (matching the checkpoint store's
+// framing; hardware-accelerated on every platform Go targets).
+var binCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeRecord serializes in into dst (len >= binRecordSize).
+func encodeRecord(dst []byte, in *Instr) {
+	binary.LittleEndian.PutUint64(dst[0:], in.IP)
+	binary.LittleEndian.PutUint64(dst[8:], in.Loads[0])
+	binary.LittleEndian.PutUint64(dst[16:], in.Loads[1])
+	binary.LittleEndian.PutUint64(dst[24:], in.Stores[0])
+	binary.LittleEndian.PutUint64(dst[32:], in.Target)
+	var flags byte
+	if in.IsBranch {
+		flags |= binFlagBranch
+	}
+	if in.Taken {
+		flags |= binFlagTaken
+	}
+	if in.DepPrev {
+		flags |= binFlagDepPrev
+	}
+	dst[40] = flags
+	for i := 41; i < binRecordSize; i++ {
+		dst[i] = 0
+	}
+}
+
+// decodeRecord deserializes src (len >= binRecordSize) into in. It
+// reports whether the record is well-formed (no reserved bits set).
+func decodeRecord(src []byte, in *Instr) bool {
+	flags := src[40]
+	if flags&binFlagsUnused != 0 {
+		return false
+	}
+	in.IP = binary.LittleEndian.Uint64(src[0:])
+	in.Loads[0] = binary.LittleEndian.Uint64(src[8:])
+	in.Loads[1] = binary.LittleEndian.Uint64(src[16:])
+	in.Stores[0] = binary.LittleEndian.Uint64(src[24:])
+	in.Target = binary.LittleEndian.Uint64(src[32:])
+	in.IsBranch = flags&binFlagBranch != 0
+	in.Taken = flags&binFlagTaken != 0
+	in.DepPrev = flags&binFlagDepPrev != 0
+	return true
+}
+
+// --- writer ---------------------------------------------------------------
+
+// BinaryWriter emits the pre-decoded format. It needs an io.WriteSeeker
+// because the header (count, source hash) is patched at Close.
+type BinaryWriter struct {
+	ws     io.WriteSeeker
+	block  []byte
+	crcs   []uint32
+	count  uint64
+	srcSHA [32]byte
+	closed bool
+}
+
+// NewBinaryWriter writes a placeholder header and returns a writer.
+func NewBinaryWriter(ws io.WriteSeeker) (*BinaryWriter, error) {
+	var hdr [binHeaderSize]byte
+	if _, err := ws.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &BinaryWriter{
+		ws:    ws,
+		block: make([]byte, 0, binBlockRecords*binRecordSize),
+	}, nil
+}
+
+// SetSourceHash records the SHA-256 of the source trace this file is
+// derived from (the sidecar invalidation key). Call any time before
+// Close; the zero hash means "no source".
+func (w *BinaryWriter) SetSourceHash(h [32]byte) { w.srcSHA = h }
+
+// Count returns the number of records written so far.
+func (w *BinaryWriter) Count() uint64 { return w.count }
+
+// Write appends one record.
+func (w *BinaryWriter) Write(in *Instr) error {
+	if w.closed {
+		return fmt.Errorf("trace: write on closed BinaryWriter")
+	}
+	off := len(w.block)
+	w.block = w.block[:off+binRecordSize]
+	encodeRecord(w.block[off:], in)
+	w.count++
+	if len(w.block) == cap(w.block) {
+		if err := w.flushBlock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *BinaryWriter) flushBlock() error {
+	if len(w.block) == 0 {
+		return nil
+	}
+	w.crcs = append(w.crcs, crc32.Checksum(w.block, binCRCTable))
+	if _, err := w.ws.Write(w.block); err != nil {
+		return err
+	}
+	w.block = w.block[:0]
+	return nil
+}
+
+// Close flushes the last block, writes the CRC trailer, and patches the
+// final header. It does not close the underlying file.
+func (w *BinaryWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	trailer := make([]byte, 4*len(w.crcs))
+	for i, c := range w.crcs {
+		binary.LittleEndian.PutUint32(trailer[4*i:], c)
+	}
+	if _, err := w.ws.Write(trailer); err != nil {
+		return err
+	}
+	if _, err := w.ws.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var hdr [binHeaderSize]byte
+	copy(hdr[0:], magic2[:])
+	binary.LittleEndian.PutUint64(hdr[8:], w.count)
+	binary.LittleEndian.PutUint32(hdr[16:], binRecordSize)
+	binary.LittleEndian.PutUint32(hdr[20:], binBlockRecords)
+	copy(hdr[24:], w.srcSHA[:])
+	binary.LittleEndian.PutUint32(hdr[56:], crc32.Checksum(hdr[:56], binCRCTable))
+	if _, err := w.ws.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.ws.Seek(0, io.SeekEnd)
+	return err
+}
+
+// --- reader ---------------------------------------------------------------
+
+// Binary is an opened pre-decoded trace, shareable across any number of
+// concurrent cursors (Stream() hands out independent ones). Backed
+// either by a memory mapping (zero-copy) or a plain io.ReaderAt.
+type Binary struct {
+	ra     io.ReaderAt
+	mapped []byte // non-nil: zero-copy mapping of the whole file
+	count  uint64
+	blkRec uint32
+	crcs   []uint32
+	// verified is an atomic bitset, one bit per block: set once the
+	// block's CRC has been checked, so concurrent cursors verify each
+	// block exactly once between them (duplicated checks are benign).
+	verified []uint32
+	srcSHA   [32]byte
+	closers  []func() error
+}
+
+// NewBinary validates the header and trailer of a pre-decoded trace
+// held behind ra (size is the total byte length) and returns a Binary.
+// Record blocks are verified lazily as cursors touch them.
+func NewBinary(ra io.ReaderAt, size int64) (*Binary, error) {
+	var hdr [binHeaderSize]byte
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("trace: reading binary header: %w: %v", ErrCorrupt, err)
+	}
+	if [8]byte(hdr[:8]) != magic2 {
+		return nil, ErrBadMagic
+	}
+	if got, want := binary.LittleEndian.Uint32(hdr[56:]), crc32.Checksum(hdr[:56], binCRCTable); got != want {
+		return nil, fmt.Errorf("trace: binary header CRC mismatch (%08x != %08x): %w", got, want, ErrCorrupt)
+	}
+	recSize := binary.LittleEndian.Uint32(hdr[16:])
+	blkRec := binary.LittleEndian.Uint32(hdr[20:])
+	if recSize != binRecordSize || blkRec == 0 {
+		return nil, fmt.Errorf("trace: unsupported binary geometry (record=%d block=%d): %w", recSize, blkRec, ErrCorrupt)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	if size < binHeaderSize || count > uint64(size-binHeaderSize)/binRecordSize {
+		return nil, fmt.Errorf("trace: binary count %d exceeds file size %d: %w", count, size, ErrCorrupt)
+	}
+	nBlocks := (count + uint64(blkRec) - 1) / uint64(blkRec)
+	expect := binHeaderSize + int64(count)*binRecordSize + int64(nBlocks)*4
+	if expect != size {
+		return nil, fmt.Errorf("trace: binary size mismatch (declared layout %d bytes, file %d): %w", expect, size, ErrCorrupt)
+	}
+	b := &Binary{
+		ra:       ra,
+		count:    count,
+		blkRec:   blkRec,
+		crcs:     make([]uint32, nBlocks),
+		verified: make([]uint32, (nBlocks+31)/32),
+	}
+	copy(b.srcSHA[:], hdr[24:56])
+	trailer := make([]byte, 4*nBlocks)
+	if nBlocks > 0 {
+		if _, err := ra.ReadAt(trailer, binHeaderSize+int64(count)*binRecordSize); err != nil {
+			return nil, fmt.Errorf("trace: reading binary CRC trailer: %w: %v", ErrCorrupt, err)
+		}
+	}
+	for i := range b.crcs {
+		b.crcs[i] = binary.LittleEndian.Uint32(trailer[4*i:])
+	}
+	if c, ok := ra.(io.Closer); ok {
+		b.closers = append(b.closers, c.Close)
+	}
+	return b, nil
+}
+
+// Count returns the record count.
+func (b *Binary) Count() uint64 { return b.count }
+
+// SourceHash returns the header's source-trace SHA-256 (zero when the
+// file was written directly from a generator).
+func (b *Binary) SourceHash() [32]byte { return b.srcSHA }
+
+// Close releases the mapping / underlying file. Cursors must not be
+// used afterwards.
+func (b *Binary) Close() error {
+	var first error
+	for _, c := range b.closers {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.closers = nil
+	return first
+}
+
+// blockChecked reports whether block i has already been verified.
+func (b *Binary) blockChecked(i uint64) bool {
+	return atomic.LoadUint32(&b.verified[i/32])&(1<<(i%32)) != 0
+}
+
+// markChecked publishes block i as verified.
+func (b *Binary) markChecked(i uint64) {
+	word := &b.verified[i/32]
+	for {
+		old := atomic.LoadUint32(word)
+		if old&(1<<(i%32)) != 0 || atomic.CompareAndSwapUint32(word, old, old|1<<(i%32)) {
+			return
+		}
+	}
+}
+
+// blockExtent returns block i's byte offset and length.
+func (b *Binary) blockExtent(i uint64) (off int64, n int) {
+	off = binHeaderSize + int64(i)*int64(b.blkRec)*binRecordSize
+	recs := uint64(b.blkRec)
+	if rem := b.count - i*uint64(b.blkRec); rem < recs {
+		recs = rem
+	}
+	return off, int(recs) * binRecordSize
+}
+
+// loadBlock returns block i's bytes, verifying its CRC the first time
+// any cursor touches it. buf is the cursor's scratch (used only on the
+// ReaderAt path; the mmap path returns a sub-slice of the mapping).
+func (b *Binary) loadBlock(i uint64, buf []byte) ([]byte, error) {
+	off, n := b.blockExtent(i)
+	var data []byte
+	if b.mapped != nil {
+		data = b.mapped[off : off+int64(n)]
+	} else {
+		data = buf[:n]
+		if _, err := b.ra.ReadAt(data, off); err != nil {
+			return nil, fmt.Errorf("trace: reading binary block %d: %w: %v", i, ErrCorrupt, err)
+		}
+	}
+	if !b.blockChecked(i) {
+		if got := crc32.Checksum(data, binCRCTable); got != b.crcs[i] {
+			return nil, fmt.Errorf("trace: binary block %d CRC mismatch (%08x != %08x) at byte %d: %w",
+				i, got, b.crcs[i], off, ErrCorrupt)
+		}
+		b.markChecked(i)
+	}
+	return data, nil
+}
+
+// Verify eagerly checks every block (tools and tests; cursors normally
+// verify lazily).
+func (b *Binary) Verify() error {
+	buf := make([]byte, int(b.blkRec)*binRecordSize)
+	for i := uint64(0); i < uint64(len(b.crcs)); i++ {
+		if _, err := b.loadBlock(i, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stream returns a fresh independent cursor positioned at record 0.
+// Cursors are not safe for concurrent use individually, but any number
+// may read the same Binary concurrently.
+func (b *Binary) Stream() *BinaryStream {
+	s := &BinaryStream{b: b, blockIdx: math.MaxUint64}
+	if b.mapped == nil {
+		s.buf = make([]byte, int(b.blkRec)*binRecordSize)
+	}
+	return s
+}
+
+// BinaryStream is one cursor over a Binary. It implements Stream: Next
+// returns false at end of trace (callers Reset to replay, exactly like
+// the simulator's cores do) and false-with-sticky-error on corruption,
+// distinguishable via Err.
+type BinaryStream struct {
+	b        *Binary
+	pos      uint64
+	blockIdx uint64 // currently loaded block (MaxUint64: none)
+	block    []byte
+	buf      []byte
+	err      error
+}
+
+// Next implements Stream.
+func (s *BinaryStream) Next(in *Instr) bool {
+	if s.err != nil || s.pos >= s.b.count {
+		return false
+	}
+	blk := s.pos / uint64(s.b.blkRec)
+	if blk != s.blockIdx {
+		data, err := s.b.loadBlock(blk, s.buf)
+		if err != nil {
+			s.err = err
+			return false
+		}
+		s.block = data
+		s.blockIdx = blk
+	}
+	off := int(s.pos%uint64(s.b.blkRec)) * binRecordSize
+	if !decodeRecord(s.block[off:off+binRecordSize], in) {
+		s.err = fmt.Errorf("trace: binary record %d has reserved flag bits: %w", s.pos, ErrCorrupt)
+		return false
+	}
+	s.pos++
+	return true
+}
+
+// Reset implements Stream. A corruption error is sticky across Reset —
+// a damaged trace must not silently replay as a shorter loop.
+func (s *BinaryStream) Reset() {
+	s.pos = 0
+	s.blockIdx = math.MaxUint64
+}
+
+// Err returns the sticky corruption/IO error, nil after clean EOF.
+func (s *BinaryStream) Err() error { return s.err }

@@ -1,0 +1,91 @@
+package trace_test
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipcp/internal/trace"
+	"ipcp/internal/workload"
+)
+
+// TestBinaryDifferentialFullSuite is the zero-parse equivalence golden:
+// for every registered workload, a trace serialized in the v1 format
+// and replayed through the binary sidecar must yield exactly the
+// records the v1 reader yields — same values, same count, same order.
+func TestBinaryDifferentialFullSuite(t *testing.T) {
+	const n = 5000
+	for _, spec := range workload.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			path := filepath.Join(dir, spec.Name+".trc")
+
+			instrs := trace.Collect(spec.New(1), n)
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := trace.NewWriter(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range instrs {
+				if err := w.Write(&instrs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference: the v1 reader's view of the file.
+			rf, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rf.Close()
+			r, err := trace.NewReader(bufio.NewReader(rf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref []trace.Instr
+			var in trace.Instr
+			for {
+				if err := r.Read(&in); err != nil {
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					t.Fatal(err)
+				}
+				ref = append(ref, in)
+			}
+
+			// Candidate: Open's binary sidecar view of the same file.
+			b, err := trace.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			if b.Count() != uint64(len(ref)) {
+				t.Fatalf("binary count %d, v1 reader count %d", b.Count(), len(ref))
+			}
+			s := b.Stream()
+			for i := 0; s.Next(&in); i++ {
+				if in != ref[i] {
+					t.Fatalf("record %d diverges:\nbinary: %+v\nv1:     %+v", i, in, ref[i])
+				}
+			}
+			if err := s.Err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

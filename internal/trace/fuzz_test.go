@@ -7,13 +7,14 @@ import (
 	"testing"
 )
 
-// FuzzReader throws arbitrary bytes at the reader. Two invariants:
+// FuzzReader throws arbitrary bytes at both trace readers, routing by
+// magic like Open does. Two invariants:
 //
-//  1. The reader never panics and never allocates proportionally to a
-//     corrupt header's claims — any damage surfaces as an error.
+//  1. Neither reader panics or allocates proportionally to a corrupt
+//     header's claims — any damage surfaces as an error.
 //  2. Whatever parses cleanly must survive a write→read round trip
-//     byte-identically (modulo the zero-target normalization the format
-//     performs on non-branch records).
+//     byte-identically (modulo the zero-target normalization the v1
+//     format performs on non-branch records).
 func FuzzReader(f *testing.F) {
 	// Seed corpus: an empty trace, a small valid trace, a truncated
 	// trace, a reserved-flags record, and a lying header.
@@ -49,7 +50,46 @@ func FuzzReader(f *testing.F) {
 	lyingHeader[15] = 0xff
 	f.Add(lyingHeader)
 
+	// Binary (IPCPTRB2) seeds: empty, valid, truncated, flipped record
+	// byte, flipped trailer byte, lying count.
+	binInstrs := []Instr{
+		{IP: 0x400000, Loads: [MaxLoads]uint64{0x10000}},
+		{IP: 0x400004, IsBranch: true, Taken: true, Target: 0x400000},
+		{IP: 0x400008, Stores: [MaxStores]uint64{0x20000}, DepPrev: true},
+	}
+	binValid := func() []byte {
+		var ws memWriteSeeker
+		w, _ := NewBinaryWriter(&ws)
+		for i := range binInstrs {
+			w.Write(&binInstrs[i])
+		}
+		w.Close()
+		return ws.buf
+	}()
+	binEmpty := func() []byte {
+		var ws memWriteSeeker
+		w, _ := NewBinaryWriter(&ws)
+		w.Close()
+		return ws.buf
+	}()
+	f.Add(binEmpty)
+	f.Add(binValid)
+	f.Add(binValid[:len(binValid)-3])
+	binFlipRec := bytes.Clone(binValid)
+	binFlipRec[binHeaderSize+4] ^= 0xff
+	f.Add(binFlipRec)
+	binFlipTrailer := bytes.Clone(binValid)
+	binFlipTrailer[len(binFlipTrailer)-1] ^= 0xff
+	f.Add(binFlipTrailer)
+	binLying := bytes.Clone(binValid)
+	binLying[8] = 0xff
+	f.Add(binLying)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) >= 8 && [8]byte(data[:8]) == magic2 {
+			fuzzBinary(t, data)
+			return
+		}
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
 			return
@@ -103,4 +143,63 @@ func FuzzReader(f *testing.F) {
 			t.Fatalf("expected EOF after %d records, got %v", len(parsed), err)
 		}
 	})
+}
+
+// fuzzBinary is FuzzReader's harness for IPCPTRB2 inputs: open, drain a
+// cursor, and round-trip whatever parsed cleanly. The binary format is
+// exact — no normalization — so the round trip must be byte-identical.
+func fuzzBinary(t *testing.T, data []byte) {
+	b, err := NewBinary(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return // damaged input, correctly rejected
+	}
+	s := b.Stream()
+	var parsed []Instr
+	var in Instr
+	for s.Next(&in) {
+		parsed = append(parsed, in)
+		if len(parsed) > 1<<16 {
+			return // enough; bound fuzz iteration time
+		}
+	}
+	if s.Err() != nil {
+		return // corrupt block or record, correctly rejected
+	}
+	if uint64(len(parsed)) != b.Count() {
+		t.Fatalf("clean cursor read %d records of a declared %d", len(parsed), b.Count())
+	}
+
+	var ws memWriteSeeker
+	w, err := NewBinaryWriter(&ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parsed {
+		if err := w.Write(&parsed[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewBinary(bytes.NewReader(ws.buf), int64(len(ws.buf)))
+	if err != nil {
+		t.Fatalf("re-reading own output: %v", err)
+	}
+	s2 := b2.Stream()
+	for i := range parsed {
+		var got Instr
+		if !s2.Next(&got) {
+			t.Fatalf("re-read stopped at record %d: %v", i, s2.Err())
+		}
+		if got != parsed[i] {
+			t.Fatalf("round trip record %d: got %+v want %+v", i, got, parsed[i])
+		}
+	}
+	if s2.Next(&in) {
+		t.Fatalf("extra record after %d", len(parsed))
+	}
+	if err := s2.Err(); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// mmapFile is unavailable on this platform; OpenBinary falls back to
+// plain ReaderAt access.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, nil
+}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. Returns (nil, nil) when mapping is
+// unsupported for this file (e.g. an empty file); the caller falls back
+// to ReaderAt access.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Not all filesystems support mmap; treat as "unavailable"
+		// rather than an error and let the caller fall back.
+		return nil, nil, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

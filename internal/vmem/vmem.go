@@ -24,6 +24,9 @@ type PhysAllocator struct {
 	rng  *rand.Rand
 	// window holds a small shuffle buffer of upcoming frame numbers.
 	window []uint64
+	// allocs counts Alloc calls: the allocator's output is a pure
+	// function of (seed, allocs), which is what snapshot restore replays.
+	allocs uint64
 }
 
 // NewPhysAllocator returns an allocator seeded deterministically.
@@ -46,6 +49,7 @@ func (a *PhysAllocator) Alloc() uint64 {
 	}
 	p := a.window[len(a.window)-1]
 	a.window = a.window[:len(a.window)-1]
+	a.allocs++
 	return p
 }
 
