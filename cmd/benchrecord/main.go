@@ -45,6 +45,9 @@ func main() {
 		diff      = flag.String("diff", "", "compare parsed results against the latest entries in this JSON history file")
 		note      = flag.String("note", "", "free-form note stored with -record entries")
 		tolerance = flag.Float64("tolerance", 0.10, "-diff: fail when instr/s drops by more than this fraction")
+		gateFast  = flag.String("gate-fast", "", "-diff: benchmark whose instr/s must exceed -gate-slow's by -gate-min (within-run ratio, immune to host drift)")
+		gateSlow  = flag.String("gate-slow", "", "-diff: the ratio gate's denominator benchmark")
+		gateMin   = flag.Float64("gate-min", 2.0, "-diff: minimum instr/s ratio of -gate-fast over -gate-slow")
 	)
 	flag.Parse()
 	if (*record == "") == (*diff == "") {
@@ -69,9 +72,41 @@ func main() {
 		}
 		return
 	}
-	if !doDiff(*diff, fresh, *tolerance) {
+	ok := doDiff(*diff, fresh, *tolerance)
+	if *gateFast != "" {
+		ok = gateRatio(os.Stdout, fresh, *gateFast, *gateSlow, *gateMin) && ok
+	}
+	if !ok {
 		os.Exit(1)
 	}
+}
+
+// gateRatio checks a within-run instr/s ratio between two benchmarks
+// from the same `go test -bench` invocation. Host speed drift between
+// record time and diff time is common-mode inside one run, so the
+// ratio stays stable on machines where absolute wall-clock does not —
+// it is the right gate for a shared or throttled host.
+func gateRatio(w io.Writer, fresh []Entry, fast, slow string, min float64) bool {
+	var f, s *Entry
+	for i := range fresh {
+		switch fresh[i].Bench {
+		case fast:
+			f = &fresh[i]
+		case slow:
+			s = &fresh[i]
+		}
+	}
+	if f == nil || s == nil || f.InstrPerSec == 0 || s.InstrPerSec == 0 {
+		fmt.Fprintf(w, "RATIO GATE: %s/%s not computable (both benchmarks must run and report instr/s)\n", fast, slow)
+		return false
+	}
+	ratio := f.InstrPerSec / s.InstrPerSec
+	fmt.Fprintf(w, "ratio %s / %s = %.2fx (floor %.2fx)\n", fast, slow, ratio, min)
+	if ratio < min {
+		fmt.Fprintf(w, "  RATIO REGRESSION: %.2fx below the %.2fx floor\n", ratio, min)
+		return false
+	}
+	return true
 }
 
 // parseBench reads `go test -bench` output and averages repeated runs of

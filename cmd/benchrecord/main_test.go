@@ -95,6 +95,28 @@ func TestHistoryProvenanceConsistent(t *testing.T) {
 	}
 }
 
+func TestGateRatio(t *testing.T) {
+	fresh := []Entry{
+		{Bench: "BenchmarkFast", InstrPerSec: 3000},
+		{Bench: "BenchmarkSlow", InstrPerSec: 1000},
+	}
+	var out bytes.Buffer
+	if !gateRatio(&out, fresh, "BenchmarkFast", "BenchmarkSlow", 2.0) {
+		t.Fatalf("3x ratio must pass a 2x floor:\n%s", out.String())
+	}
+	out.Reset()
+	if gateRatio(&out, fresh, "BenchmarkFast", "BenchmarkSlow", 4.0) {
+		t.Fatal("3x ratio must fail a 4x floor")
+	}
+	if !strings.Contains(out.String(), "RATIO REGRESSION") {
+		t.Fatalf("missing RATIO REGRESSION marker:\n%s", out.String())
+	}
+	out.Reset()
+	if gateRatio(&out, fresh, "BenchmarkFast", "BenchmarkMissing", 2.0) {
+		t.Fatal("missing denominator must fail, not pass silently")
+	}
+}
+
 func TestDoDiffMissingHistoryIsGraceful(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_throughput.json")
 	fresh := []Entry{{Bench: "BenchmarkX", NsPerOp: 100}}
