@@ -6,15 +6,16 @@ GO ?= go
 TRACKED_BENCH = SimulatorThroughput|Fig7$$|Fig8$$|SweepColdWarmup$$|SweepSharedWarmup$$
 BENCH_FILE   = BENCH_throughput.json
 
-.PHONY: check build vet test determinism audit bench benchsmoke benchdiff benchgate fuzz serve-smoke obs-smoke chaos-smoke
+.PHONY: check build vet test determinism audit bench benchsmoke benchdiff benchgate fuzz serve-smoke obs-smoke chaos-smoke dist-smoke
 
 # Tier-1 gate: everything must pass before a change lands. `test` runs
 # -race over every package — including the session-concurrency and
 # serve suites (internal/experiments, internal/serve); serve-smoke,
-# obs-smoke and chaos-smoke exercise the built ipcpd binary end to end;
-# benchgate holds the shared-warmup amortization ratio and guards
-# tracked instr/s against structural collapse (see benchgate below).
-check: build vet test determinism audit benchgate fuzz serve-smoke obs-smoke chaos-smoke
+# obs-smoke, chaos-smoke and dist-smoke exercise the built ipcpd binary
+# end to end; benchgate holds the shared-warmup amortization ratio and
+# guards tracked instr/s against structural collapse (see benchgate
+# below).
+check: build vet test determinism audit benchgate fuzz serve-smoke obs-smoke chaos-smoke dist-smoke
 
 build:
 	$(GO) build ./...
@@ -98,3 +99,10 @@ obs-smoke:
 # via injected fault (IPCPD_CHAOS) at the queue handoff and recover.
 chaos-smoke:
 	$(GO) test ./cmd/ipcpd -run '^TestChaosSmoke$$' -count=1 -v
+
+# End-to-end distributed smoke: boot a real coordinator and two real
+# workers, submit one parameter grid via POST /v1/sweeps, kill -9 a
+# worker mid-sweep, and demand every acknowledged point still reach a
+# result — with the reassignment visible on the coordinator's metrics.
+dist-smoke:
+	$(GO) test ./cmd/ipcpd -run '^TestDistSmoke$$' -count=1 -v

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDistSmoke is the distributed-tier exercise behind `make
+// dist-smoke`, run against the real binary: one coordinator, two
+// workers, one POST /v1/sweeps — then kill -9 a worker mid-sweep and
+// demand every acknowledged point still reaches a result, with the
+// reassignment visible on the coordinator's metrics.
+func TestDistSmoke(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "ipcpd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building ipcpd: %v\n%s", err, out)
+	}
+
+	// Coordinator with a tight heartbeat so the kill is detected fast.
+	cd := startCoordinator(t, bin, []string{
+		"-coordinator", "-addr", "127.0.0.1:0",
+		"-data-dir", t.TempDir(), "-heartbeat", "1s",
+	})
+	workerArgs := []string{
+		"-addr", "127.0.0.1:0", "-worker", cd.base,
+		"-scale", "quick", "-warmup", "10000", "-measure", "2000000",
+		"-workers", "2", "-queue", "32",
+	}
+	w1 := startDaemon(t, bin, workerArgs)
+	w2 := startDaemon(t, bin, workerArgs)
+
+	// Both workers registered and live.
+	waitCond(t, 30*time.Second, "2 live workers", func() bool {
+		var h struct {
+			Workers int `json:"workers"`
+		}
+		getJSON(t, cd.base+"/healthz", &h)
+		return h.Workers == 2
+	})
+
+	// One request, the whole grid: 4 workloads × 2 L1D prefetchers =
+	// 8 points in 4 warmup groups, sized to run for several seconds so
+	// the kill window below is wide.
+	resp, err := http.Post(cd.base+"/v1/sweeps", "application/json", strings.NewReader(
+		`{"workloads":["mcf-994","bwaves-98","lbm-94","gcc-2226"],"l1d":["","ipcp"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID     string `json:"id"`
+		Points int    `json:"points"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.Points != 8 {
+		t.Fatalf("POST /v1/sweeps = %d (%+v), want 202 with 8 points", resp.StatusCode, sub)
+	}
+
+	type sweepView struct {
+		Status string `json:"status"`
+		Total  int    `json:"total"`
+		Done   int    `json:"done"`
+		Failed int    `json:"failed"`
+		Points []struct {
+			Status string          `json:"status"`
+			Worker string          `json:"worker"`
+			Result json.RawMessage `json:"result"`
+		} `json:"points"`
+	}
+	sweepURL := cd.base + "/v1/sweeps/" + sub.ID
+
+	// Wait until both workers hold running points, then pick a victim
+	// that is mid-point — its death must strand work in flight.
+	var victimID string
+	waitCond(t, 120*time.Second, "points running on both workers", func() bool {
+		var v sweepView
+		getJSON(t, sweepURL, &v)
+		if v.Status == "done" {
+			t.Fatal("sweep finished before the kill window (machine too fast for the smoke sizing?)")
+		}
+		running := map[string]bool{}
+		for _, pt := range v.Points {
+			if pt.Status == "running" && pt.Worker != "" {
+				running[pt.Worker] = true
+				victimID = pt.Worker
+			}
+		}
+		return len(running) >= 2
+	})
+
+	// Map the victim's registry entry to its process and kill -9.
+	var workers struct {
+		Workers []struct {
+			ID  string `json:"id"`
+			URL string `json:"url"`
+		} `json:"workers"`
+	}
+	getJSON(t, cd.base+"/v1/workers", &workers)
+	var victim *daemon
+	for _, wv := range workers.Workers {
+		if wv.ID != victimID {
+			continue
+		}
+		for _, d := range []*daemon{w1, w2} {
+			if d.base == wv.URL {
+				victim = d
+			}
+		}
+	}
+	if victim == nil {
+		t.Fatalf("victim worker %s not found among the spawned daemons", victimID)
+	}
+	survivor := w1
+	if victim == w1 {
+		survivor = w2
+	}
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.wait(30 * time.Second); err == nil {
+		t.Fatal("SIGKILLed worker reported a clean exit")
+	}
+
+	// The sweep still completes: zero acknowledged points lost, every
+	// point carries a result.
+	var final sweepView
+	waitCond(t, 10*time.Minute, "sweep completion after the kill", func() bool {
+		getJSON(t, sweepURL, &final)
+		return final.Status == "done"
+	})
+	if final.Total != 8 || final.Done != 8 || final.Failed != 0 {
+		t.Fatalf("post-kill sweep total=%d done=%d failed=%d, want 8/8/0",
+			final.Total, final.Done, final.Failed)
+	}
+	for i, pt := range final.Points {
+		if pt.Status != "done" || len(pt.Result) == 0 || string(pt.Result) == "null" {
+			t.Fatalf("point %d = %s with result %.60s, want done with a result", i, pt.Status, pt.Result)
+		}
+	}
+
+	// The failure handling is visible on the coordinator's metrics,
+	// JSON and Prometheus both.
+	var m struct {
+		Workers struct {
+			Lost uint64 `json:"lost"`
+		} `json:"workers"`
+		Points struct {
+			Done       uint64 `json:"done"`
+			Reassigned uint64 `json:"reassigned"`
+		} `json:"points"`
+		Fanout struct {
+			Submitted uint64 `json:"submitted"`
+		} `json:"fanout"`
+		Blobs struct {
+			Puts uint64 `json:"puts"`
+		} `json:"blobs"`
+	}
+	getJSON(t, cd.base+"/metrics", &m)
+	if m.Points.Done != 8 || m.Points.Reassigned == 0 {
+		t.Fatalf("point counters = %+v, want done=8 and reassigned>0", m.Points)
+	}
+	if m.Workers.Lost == 0 {
+		t.Fatal("the killed worker was never declared lost")
+	}
+	if m.Fanout.Submitted < 8 {
+		t.Fatalf("fanout submitted = %d, want >= 8", m.Fanout.Submitted)
+	}
+	if m.Blobs.Puts == 0 {
+		t.Fatal("no checkpoints reached the shared blob store")
+	}
+	promBody := getBody(t, cd.base+"/metrics", map[string]string{"Accept": "text/plain"})
+	for _, metric := range []string{
+		`ipcpc_points_total{outcome="done"} 8`,
+		`ipcpc_points_total{outcome="reassigned"}`,
+		`ipcpc_workers_lost_total`,
+	} {
+		if !strings.Contains(promBody, metric) {
+			t.Errorf("prometheus exposition lacks %s", metric)
+		}
+	}
+
+	// Orderly teardown: the survivor drains cleanly, the coordinator
+	// shuts down cleanly.
+	sigtermAndWait(t, survivor)
+	sigtermAndWait(t, cd)
+}
+
+// startCoordinator mirrors startDaemon for -coordinator processes,
+// whose stdout announcement differs.
+func startCoordinator(t *testing.T, bin string, args []string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "ipcpd coordinator listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("coordinator never announced its address: %v", sc.Err())
+	}
+	d := &daemon{cmd: cmd, base: addr, done: make(chan error, 1)}
+	go func() {
+		for sc.Scan() {
+		}
+		d.done <- cmd.Wait()
+	}()
+	return d
+}
+
+// waitCond polls cond until true or the deadline expires.
+func waitCond(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

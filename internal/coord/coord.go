@@ -1,0 +1,285 @@
+// Package coord is the distributed sweep tier: a coordinator that
+// shards parameter grids across self-registered ipcpd workers.
+//
+// Topology: one coordinator, N workers. Workers are ordinary ipcpd
+// daemons (run with -worker <coord-url>) that register over HTTP and
+// heartbeat; the coordinator accepts a whole parameter grid as one
+// POST /v1/sweeps, shards it by warmup identity (experiments.WarmupKey)
+// so each group's shared warmup is simulated — and its snapshot forked
+// — on exactly one worker, fans the points out through the workers'
+// existing /v1/runs API, and merges results. A worker that misses
+// heartbeats (or drops connections) is declared lost and its
+// outstanding points are reassigned; a point's simulation failure, by
+// contrast, is deterministic and final. Results flow back through a
+// shared content-addressed blob store (blobs.go) so nothing is ever
+// recomputed twice across the fleet.
+package coord
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipcp/internal/telemetry"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// DataDir backs the shared blob store. Required.
+	DataDir string
+	// HeartbeatTimeout is how long a silent worker stays schedulable;
+	// workers are told to beat at a third of it. Default 5s.
+	HeartbeatTimeout time.Duration
+	// PollInterval paces job-status polling against workers and
+	// worker-availability rechecks. Default 150ms.
+	PollInterval time.Duration
+	// MaxPoints caps one sweep's expanded grid. Default 4096.
+	MaxPoints int
+	// SpanBuf is the trace ring capacity (0 = telemetry default).
+	SpanBuf int
+	// Log receives structured logs (nil = discard).
+	Log *slog.Logger
+}
+
+// Coordinator owns the worker registry, the sweep scheduler and the
+// blob store. Create with New, serve Handler(), Close when done.
+type Coordinator struct {
+	opts  Options
+	log   *slog.Logger
+	blobs *BlobStore
+	spans *telemetry.SpanTracer
+	hc    *http.Client
+	ctx   context.Context
+	stop  context.CancelFunc
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	workers map[string]*worker
+	sweeps  map[string]*sweep
+	nextW   int // worker id allocator
+	nextS   int // sweep id allocator
+
+	// Fleet and fan-out counters, surfaced on /metrics (JSON and
+	// Prometheus). Reassigned counts points re-fanned-out after their
+	// worker was lost; retries counts 429-backpressure resubmissions.
+	workersRegistered atomic.Uint64
+	workersLost       atomic.Uint64
+	sweepsAccepted    atomic.Uint64
+	sweepsCompleted   atomic.Uint64
+	pointsDone        atomic.Uint64
+	pointsFailed      atomic.Uint64
+	pointsReassigned  atomic.Uint64
+	fanoutSubmitted   atomic.Uint64
+	fanoutRetries     atomic.Uint64
+}
+
+// worker is one registered daemon. Mutable fields are guarded by the
+// coordinator's mu; down is closed exactly once when the worker is
+// declared lost, waking every scheduler goroutine blocked on it.
+type worker struct {
+	ID       string    `json:"id"`
+	URL      string    `json:"url"`
+	Capacity int       `json:"capacity"`
+	Since    time.Time `json:"registered"`
+
+	lastBeat time.Time
+	dead     bool
+	down     chan struct{}
+	assigned int           // points currently assigned (load metric)
+	slots    chan struct{} // capacity semaphore
+}
+
+// New creates a coordinator with its blob store under opts.DataDir.
+func New(opts Options) (*Coordinator, error) {
+	if opts.Log == nil {
+		opts.Log = slog.Default()
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 5 * time.Second
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 150 * time.Millisecond
+	}
+	if opts.MaxPoints <= 0 {
+		opts.MaxPoints = 4096
+	}
+	blobs, err := NewBlobStore(opts.DataDir, opts.Log)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		opts:    opts,
+		log:     opts.Log,
+		blobs:   blobs,
+		spans:   telemetry.NewSpanTracer(opts.SpanBuf),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		ctx:     ctx,
+		stop:    cancel,
+		workers: make(map[string]*worker),
+		sweeps:  make(map[string]*sweep),
+	}
+	c.wg.Add(1)
+	go c.reap()
+	return c, nil
+}
+
+// Close stops the reaper and aborts in-flight sweep scheduling.
+func (c *Coordinator) Close() {
+	c.stop()
+	c.wg.Wait()
+}
+
+// --- worker registry -------------------------------------------------------
+
+// register admits (or replaces) a worker. A re-registration from a URL
+// we already know supersedes the old entry: the previous incarnation —
+// typically a crashed daemon that came back — is declared lost so its
+// points reassign, and the new one starts clean.
+func (c *Coordinator) register(url string, capacity int) *worker {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.URL == url && !w.dead {
+			c.markDeadLocked(w, "superseded by re-registration")
+		}
+	}
+	c.nextW++
+	w := &worker{
+		ID:       fmt.Sprintf("w%06d", c.nextW),
+		URL:      trimSlash(url),
+		Capacity: capacity,
+		Since:    time.Now(),
+		lastBeat: time.Now(),
+		down:     make(chan struct{}),
+		slots:    make(chan struct{}, capacity),
+	}
+	c.workers[w.ID] = w
+	c.workersRegistered.Add(1)
+	c.log.Info("worker registered", "worker", w.ID, "url", w.URL, "capacity", capacity)
+	return w
+}
+
+// heartbeat refreshes a worker's liveness; unknown or already-lost ids
+// report false so the agent re-registers.
+func (c *Coordinator) heartbeat(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok || w.dead {
+		return false
+	}
+	w.lastBeat = time.Now()
+	return true
+}
+
+// markDead declares a worker lost (idempotent).
+func (c *Coordinator) markDead(w *worker, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.markDeadLocked(w, reason)
+}
+
+func (c *Coordinator) markDeadLocked(w *worker, reason string) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	close(w.down)
+	c.workersLost.Add(1)
+	c.log.Warn("worker lost", "worker", w.ID, "url", w.URL, "reason", reason)
+}
+
+// reap periodically declares workers lost after a silent heartbeat
+// window. Schedulers blocked on those workers wake via their down
+// channel and reassign.
+func (c *Coordinator) reap() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.HeartbeatTimeout / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-c.opts.HeartbeatTimeout)
+		c.mu.Lock()
+		for _, w := range c.workers {
+			if !w.dead && w.lastBeat.Before(cutoff) {
+				c.markDeadLocked(w, "missed heartbeats")
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// pickWorker returns the live worker with the least assigned load,
+// reserving n points of load on it, or blocks (re-checking every poll
+// interval) until one registers. ctx aborts the wait.
+func (c *Coordinator) pickWorker(ctx context.Context, n int) (*worker, error) {
+	for {
+		c.mu.Lock()
+		var best *worker
+		for _, w := range c.workers {
+			if w.dead {
+				continue
+			}
+			if best == nil || w.assigned < best.assigned {
+				best = w
+			}
+		}
+		if best != nil {
+			best.assigned += n
+			c.mu.Unlock()
+			return best, nil
+		}
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.ctx.Done():
+			return nil, c.ctx.Err()
+		case <-time.After(c.opts.PollInterval):
+		}
+	}
+}
+
+// release returns reserved load to a worker.
+func (c *Coordinator) release(w *worker, n int) {
+	c.mu.Lock()
+	w.assigned -= n
+	c.mu.Unlock()
+}
+
+// workerViews snapshots the registry for GET /v1/workers and /metrics.
+func (c *Coordinator) workerViews() []workerView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]workerView, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, workerView{
+			ID: w.ID, URL: w.URL, Capacity: w.Capacity,
+			Since: w.Since, LastBeat: w.lastBeat, Dead: w.dead,
+			Assigned: w.assigned,
+		})
+	}
+	return out
+}
+
+type workerView struct {
+	ID       string    `json:"id"`
+	URL      string    `json:"url"`
+	Capacity int       `json:"capacity"`
+	Since    time.Time `json:"registered"`
+	LastBeat time.Time `json:"last_heartbeat"`
+	Dead     bool      `json:"lost,omitempty"`
+	Assigned int       `json:"assigned_points"`
+}

@@ -1,0 +1,324 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ipcp/internal/experiments"
+)
+
+func discardLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newTestCoord returns a coordinator with fast test timings and its
+// httptest front end.
+func newTestCoord(t *testing.T) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := New(Options{
+		DataDir:          t.TempDir(),
+		HeartbeatTimeout: 600 * time.Millisecond,
+		PollInterval:     10 * time.Millisecond,
+		Log:              discardLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		c.Close()
+	})
+	return c, ts
+}
+
+// --- grid expansion ---------------------------------------------------------
+
+func TestSweepExpandCrossProduct(t *testing.T) {
+	req := SweepRequest{
+		Workloads: []string{"mcf-994", "bwaves-98"},
+		L1D:       []string{"", "ipcp", "spp"},
+		L2:        []string{"", "ipcp"},
+		TimeoutMS: 5000,
+	}
+	pts, err := req.expand(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 {
+		t.Fatalf("expanded to %d points, want 12", len(pts))
+	}
+	// Expansion order is workload-outermost, so points sharing a warmup
+	// identity are contiguous; the first six belong to mcf-994.
+	for i, pt := range pts[:6] {
+		if pt.Workloads[0] != "mcf-994" {
+			t.Errorf("point %d workload = %s, want mcf-994", i, pt.Workloads[0])
+		}
+	}
+	if pts[0].L1D != "" || pts[1].L2 != "ipcp" || pts[2].L1D != "ipcp" {
+		t.Errorf("unexpected expansion order: %+v %+v %+v", pts[0], pts[1], pts[2])
+	}
+	// Exactly two warmup-identity groups: the prefetcher axes never
+	// enter the group key.
+	groups := map[string]bool{}
+	for _, pt := range pts {
+		groups[groupKey(pt)] = true
+	}
+	if len(groups) != 2 {
+		t.Errorf("grid groups into %d warmup identities, want 2", len(groups))
+	}
+}
+
+func TestSweepExpandValidates(t *testing.T) {
+	cases := []struct {
+		name string
+		req  SweepRequest
+	}{
+		{"empty", SweepRequest{}},
+		{"unknown workload", SweepRequest{Workloads: []string{"no-such-trace"}}},
+		{"unknown prefetcher", SweepRequest{Workloads: []string{"mcf-994"}, L1D: []string{"warp-drive"}}},
+		{"negative timeout", SweepRequest{Workloads: []string{"mcf-994"}, TimeoutMS: -1}},
+		{"bad explicit point", SweepRequest{Points: []PointSpec{{Workloads: []string{"mcf-994"}, Cores: 3}}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.req.expand(4096); err == nil {
+			t.Errorf("%s: expand accepted an invalid request", tc.name)
+		}
+	}
+	big := SweepRequest{Workloads: []string{"mcf-994"}, L1D: []string{"", "ipcp"}}
+	if _, err := big.expand(1); err == nil {
+		t.Error("expand accepted a grid beyond the point cap")
+	}
+}
+
+func TestSweepExpandTimeoutInheritance(t *testing.T) {
+	req := SweepRequest{
+		Workloads: []string{"mcf-994"},
+		Points:    []PointSpec{{Workloads: []string{"bwaves-98"}, TimeoutMS: 99}},
+		TimeoutMS: 1234,
+	}
+	c, _ := newTestCoord(t)
+	sw, err := c.acceptSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if got := sw.points[0].Spec.TimeoutMS; got != 1234 {
+		t.Errorf("grid point timeout = %d, want inherited 1234", got)
+	}
+	if got := sw.points[1].Spec.TimeoutMS; got != 99 {
+		t.Errorf("explicit point timeout = %d, want its own 99", got)
+	}
+}
+
+// --- blob store --------------------------------------------------------------
+
+func TestBlobStoreHTTPRoundTrip(t *testing.T) {
+	c, ts := newTestCoord(t)
+	key := strings.Repeat("ab", 32)
+	payload := []byte("snapshot bytes")
+	frame := experiments.EncodeBlobFrame(payload)
+
+	// Miss first.
+	resp, err := http.Get(ts.URL + "/v1/blobs/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET missing blob = %d, want 404", resp.StatusCode)
+	}
+
+	put := func(k string, body []byte) int {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/blobs/"+k, bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := put(key, frame); code != http.StatusCreated {
+		t.Fatalf("PUT blob = %d, want 201", code)
+	}
+	resp, err = http.Get(ts.URL + "/v1/blobs/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, frame) {
+		t.Fatalf("GET blob = %d, frame mismatch", resp.StatusCode)
+	}
+
+	// Damage is refused at the door...
+	if code := put(strings.Repeat("cd", 32), []byte("not a frame")); code != http.StatusBadRequest {
+		t.Fatalf("PUT bad frame = %d, want 400", code)
+	}
+	// ...and bad keys never touch the filesystem. (Multi-segment
+	// traversal attempts already die in the mux's single-segment
+	// {key} pattern; single-segment junk dies in validKey.)
+	if code := put(strings.Repeat("ZZ", 32), frame); code != http.StatusBadRequest {
+		t.Fatalf("PUT non-hex key = %d, want 400", code)
+	}
+	if code := put("..", frame); code == http.StatusCreated {
+		t.Fatalf("PUT dot-dot key = %d, want a refusal", code)
+	}
+
+	m := c.Metrics()
+	if m.Blobs.Puts != 1 || m.Blobs.Rejected != 1 || m.Blobs.Hits != 1 {
+		t.Errorf("blob counters = %+v, want puts=1 rejected=1 hits=1", m.Blobs)
+	}
+}
+
+// TestBlobStoreQuarantinesDamage flips bits in a stored blob on disk:
+// the next GET must 404 (never serve the damage) and move the file to
+// corrupt/.
+func TestBlobStoreQuarantinesDamage(t *testing.T) {
+	c, ts := newTestCoord(t)
+	key := strings.Repeat("ef", 32)
+	if err := c.blobs.put(key, experiments.EncodeBlobFrame([]byte("precious"))); err != nil {
+		t.Fatal(err)
+	}
+	p := c.blobs.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/blobs/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET damaged blob = %d, want 404", resp.StatusCode)
+	}
+	if c.blobs.quarantined.Load() != 1 {
+		t.Errorf("quarantined = %d, want 1", c.blobs.quarantined.Load())
+	}
+	if _, err := os.Stat(filepath.Join(c.blobs.dir, "corrupt", filepath.Base(p))); err != nil {
+		t.Errorf("damaged blob not preserved in corrupt/: %v", err)
+	}
+}
+
+// TestBlobClientRoundTrip drives the worker-side RemoteBlobs
+// implementation against a live coordinator.
+func TestBlobClientRoundTrip(t *testing.T) {
+	_, ts := newTestCoord(t)
+	cl := NewBlobClient(ts.URL, discardLog())
+	key := strings.Repeat("12", 32)
+	if _, ok := cl.GetBlob(key); ok {
+		t.Fatal("GetBlob hit on an empty store")
+	}
+	cl.PutBlob(key, []byte("shared result"))
+	payload, ok := cl.GetBlob(key)
+	if !ok || string(payload) != "shared result" {
+		t.Fatalf("GetBlob = %q, %v; want round-tripped payload", payload, ok)
+	}
+}
+
+// TestSubmitSweepBodyTooLarge extends the 413 bugfix to the new
+// endpoint: grid requests are bounded too.
+func TestSubmitSweepBodyTooLarge(t *testing.T) {
+	_, ts := newTestCoord(t)
+	huge := []byte(`{"workloads":["` + strings.Repeat("x", maxRequestBody+1024) + `"]}`)
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("POST /v1/sweeps with %d-byte body = %d, want 413", len(huge), resp.StatusCode)
+	}
+}
+
+// --- registry & agent ---------------------------------------------------------
+
+func TestWorkerRegistryLifecycle(t *testing.T) {
+	c, _ := newTestCoord(t)
+	w1 := c.register("http://127.0.0.1:1111", 2)
+	if !c.heartbeat(w1.ID) {
+		t.Fatal("heartbeat for a live worker refused")
+	}
+	// Re-registration from the same URL supersedes the old entry.
+	w2 := c.register("http://127.0.0.1:1111", 2)
+	if c.heartbeat(w1.ID) {
+		t.Error("heartbeat for a superseded worker accepted")
+	}
+	if !c.heartbeat(w2.ID) {
+		t.Error("heartbeat for the new incarnation refused")
+	}
+	m := c.Metrics()
+	if m.Workers.Registered != 2 || m.Workers.Lost != 1 || m.Workers.Live != 1 {
+		t.Errorf("worker counters = %+v, want registered=2 lost=1 live=1", m.Workers)
+	}
+}
+
+func TestReaperDeclaresSilentWorkersLost(t *testing.T) {
+	c, _ := newTestCoord(t)
+	w := c.register("http://127.0.0.1:2222", 1)
+	// Observe via the down channel, not heartbeat(): a heartbeat is a
+	// liveness refresh and would keep the worker alive forever.
+	select {
+	case <-w.down:
+	case <-time.After(5 * time.Second):
+		t.Fatal("silent worker never declared lost")
+	}
+	if c.heartbeat(w.ID) {
+		t.Error("heartbeat accepted for a reaped worker")
+	}
+}
+
+// TestAgentReregisters covers the worker agent's recovery loop: when
+// its incarnation is declared lost (here: forced), the next heartbeat's
+// 404 makes it register again.
+func TestAgentReregisters(t *testing.T) {
+	c, ts := newTestCoord(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	StartAgent(ctx, ts.URL, "http://127.0.0.1:3333", 1, discardLog())
+
+	firstID := waitLiveWorker(t, c, "")
+	c.mu.Lock()
+	c.markDeadLocked(c.workers[firstID], "test kill")
+	c.mu.Unlock()
+
+	secondID := waitLiveWorker(t, c, firstID)
+	if secondID == firstID {
+		t.Fatal("agent did not re-register under a fresh id")
+	}
+}
+
+// waitLiveWorker polls until a live worker other than exclude exists.
+func waitLiveWorker(t *testing.T, c *Coordinator, exclude string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		for id, w := range c.workers {
+			if !w.dead && id != exclude {
+				c.mu.Unlock()
+				return id
+			}
+		}
+		c.mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no live worker appeared")
+	return ""
+}

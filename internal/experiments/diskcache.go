@@ -37,11 +37,32 @@ type diskCache struct {
 	dir string
 	log *slog.Logger
 
+	// remote, when attached, is a shared second-level store (the
+	// coordinator's content-addressed blob service): local misses fall
+	// through to it, and every local write is pushed to it, so any
+	// worker's checkpoint or warmup spill is every worker's disk hit.
+	remote RemoteBlobs
+
 	// quarantined counts corrupt entries moved aside on load;
 	// storeFails counts checkpoint writes that failed (non-fatally).
 	// Surfaced through SessionStats and the daemon's /metrics.
 	quarantined atomic.Uint64
 	storeFails  atomic.Uint64
+	remoteHits  atomic.Uint64
+	remotePuts  atomic.Uint64
+}
+
+// RemoteBlobs is a shared second-level blob store keyed by the same
+// content addresses as the local cache. Payloads are opaque to the
+// store; any transport framing and integrity checking is the
+// implementation's business (a payload returned from GetBlob must
+// already be verified). Both methods are best-effort: GetBlob misses
+// with ok=false, PutBlob failures are swallowed (and should be counted
+// by the implementation) — a dead remote degrades sharing, never
+// correctness.
+type RemoteBlobs interface {
+	GetBlob(key string) (payload []byte, ok bool)
+	PutBlob(key string, payload []byte)
 }
 
 // newDiskCache creates (if needed) and validates the cache directory.
@@ -159,11 +180,22 @@ const blobMagic = "ipcp-blob-v1"
 // loadBlob returns the blob stored under key, or ok=false on any miss.
 // Like result entries, damage is quarantined and recomputed, never
 // decoded: a torn or bit-flipped snapshot must not fork simulations.
+// A local miss falls through to the remote store; a remote hit is
+// adopted locally so the next load is a disk read.
 func (d *diskCache) loadBlob(key string) ([]byte, bool) {
 	p := d.blobPath(key)
 	data, err := os.ReadFile(p)
 	if err != nil {
-		return nil, false
+		if d.remote == nil {
+			return nil, false
+		}
+		payload, ok := d.remote.GetBlob(key)
+		if !ok {
+			return nil, false
+		}
+		d.remoteHits.Add(1)
+		d.writeBlobLocal(p, payload)
+		return payload, true
 	}
 	payload, err := decodeBlob(data)
 	if err != nil {
@@ -171,6 +203,19 @@ func (d *diskCache) loadBlob(key string) ([]byte, bool) {
 		return nil, false
 	}
 	return payload, true
+}
+
+// DecodeBlobFrame verifies an ipcp-blob-v1 frame and returns its
+// payload. Exported for the coordinator's HTTP blob store, which
+// speaks the same framing on the wire as the cache does on disk.
+func DecodeBlobFrame(data []byte) ([]byte, error) { return decodeBlob(data) }
+
+// EncodeBlobFrame wraps a payload in the ipcp-blob-v1 frame.
+func EncodeBlobFrame(payload []byte) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %d %08x\n", blobMagic, len(payload), crc32.Checksum(payload, crcTable))
+	buf.Write(payload)
+	return buf.Bytes()
 }
 
 // decodeBlob verifies a blob frame and returns its payload.
@@ -199,13 +244,19 @@ func decodeBlob(data []byte) ([]byte, error) {
 
 // storeBlob persists an opaque blob under key with the same
 // non-fatal-but-counted failure policy and tmp+fsync+rename durability
-// as result entries.
+// as result entries, then pushes it to the shared remote store (when
+// one is attached) so every peer's next load is a hit.
 func (d *diskCache) storeBlob(key string, payload []byte) {
-	p := d.blobPath(key)
-	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "%s %d %08x\n", blobMagic, len(payload), crc32.Checksum(payload, crcTable))
-	buf.Write(payload)
-	if err := d.writeFile(p, buf.Bytes()); err != nil {
+	d.writeBlobLocal(d.blobPath(key), payload)
+	if d.remote != nil {
+		d.remote.PutBlob(key, payload)
+		d.remotePuts.Add(1)
+	}
+}
+
+// writeBlobLocal frames and writes one blob to the local disk only.
+func (d *diskCache) writeBlobLocal(p string, payload []byte) {
+	if err := d.writeFile(p, EncodeBlobFrame(payload)); err != nil {
 		d.storeFails.Add(1)
 		d.log.Warn("snapshot blob store failed", "path", p, "err", err)
 	}
@@ -234,21 +285,42 @@ func (d *diskCache) quarantine(p string, reason error) {
 
 // load returns the cached result for key, or ok=false on any miss.
 // Damage is quarantined, not trusted: a file that fails the frame
-// check moves to corrupt/ and the caller recomputes.
+// check moves to corrupt/ and the caller recomputes. Local misses
+// (including just-quarantined entries) fall through to the remote
+// store; a verified remote hit is adopted into the local cache.
 func (d *diskCache) load(key, specKey string) (*sim.Result, bool) {
 	p := d.path(key)
 	data, err := os.ReadFile(p)
-	if err != nil {
+	if err == nil {
+		e, err := decodeEntry(data)
+		switch {
+		case err != nil:
+			d.quarantine(p, err)
+		case e.Spec != specKey || e.Result == nil:
+			d.quarantine(p, fmt.Errorf("checkpoint: entry is for spec %q, not %q", e.Spec, specKey))
+		default:
+			return e.Result, true
+		}
+	}
+	if d.remote == nil {
 		return nil, false
 	}
-	e, err := decodeEntry(data)
-	if err != nil {
-		d.quarantine(p, err)
+	// The remote payload is the full checkpoint frame, so the same
+	// header/CRC/spec-identity checks gate it; a damaged remote entry
+	// is ignored (the remote store quarantines on its own side).
+	frame, ok := d.remote.GetBlob(key)
+	if !ok {
 		return nil, false
 	}
-	if e.Spec != specKey || e.Result == nil {
-		d.quarantine(p, fmt.Errorf("checkpoint: entry is for spec %q, not %q", e.Spec, specKey))
+	e, err := decodeEntry(frame)
+	if err != nil || e.Spec != specKey || e.Result == nil {
+		d.log.Warn("remote checkpoint rejected", "key", key, "err", err)
 		return nil, false
+	}
+	d.remoteHits.Add(1)
+	if err := d.writeFile(p, frame); err != nil {
+		d.storeFails.Add(1)
+		d.log.Warn("adopting remote checkpoint failed", "path", p, "err", err)
 	}
 	return e.Result, true
 }
@@ -265,19 +337,19 @@ func (d *diskCache) load(key, specKey string) (*sim.Result, bool) {
 // complete old/new entry — never a torn one under the final name.
 func (d *diskCache) store(key, specKey string, res *sim.Result) {
 	p := d.path(key)
-	err := d.writeEntry(p, entry{Spec: specKey, Result: res})
+	data, err := encodeEntry(entry{Spec: specKey, Result: res})
+	if err == nil {
+		err = d.writeFile(p, data)
+	}
 	if err != nil {
 		d.storeFails.Add(1)
 		d.log.Warn("checkpoint store failed", "path", p, "err", err)
+		return
 	}
-}
-
-func (d *diskCache) writeEntry(p string, e entry) error {
-	data, err := encodeEntry(e)
-	if err != nil {
-		return err
+	if d.remote != nil {
+		d.remote.PutBlob(key, data)
+		d.remotePuts.Add(1)
 	}
-	return d.writeFile(p, data)
 }
 
 // writeFile is the shared durable-write discipline: chaos injection

@@ -245,6 +245,11 @@ type SessionStats struct {
 	// that failed to unwind within the abandon grace (simulations
 	// wedged beyond cooperative cancellation).
 	Abandoned int
+	// RemoteBlobHits counts local cache misses satisfied from the
+	// shared remote blob store (checkpoints and warmup spills alike);
+	// RemoteBlobPuts counts local writes pushed to it.
+	RemoteBlobHits int
+	RemoteBlobPuts int
 
 	// Shared-warmup (RunShared/RunSweep) dispositions.
 	//
@@ -293,6 +298,11 @@ type Session struct {
 	snapResident     []string
 	snapMemHits      int
 	warmupsCoalesced int
+
+	// testWarmupErr, when set (tests only), injects a non-fatal
+	// snapshot failure for matching specs so the shared-warmup
+	// cold-fallback path can be exercised deterministically.
+	testWarmupErr func(RunSpec) error
 }
 
 // NewSession returns a Session running at the given scale.
@@ -342,6 +352,20 @@ func (s *Session) SetCacheDir(dir string) error {
 	return nil
 }
 
+// SetRemoteBlobs attaches a shared second-level blob store (typically
+// the coordinator's /v1/blobs service) behind the local disk cache:
+// local misses — result checkpoints and warmup-snapshot spills alike —
+// fall through to it, and every local write is pushed to it. Requires
+// a cache directory (the local tier is where verified remote payloads
+// are adopted); call after SetCacheDir.
+func (s *Session) SetRemoteBlobs(r RemoteBlobs) error {
+	if s.disk == nil {
+		return errors.New("experiments: SetRemoteBlobs requires SetCacheDir first")
+	}
+	s.disk.remote = r
+	return nil
+}
+
 // Faults returns the degraded runs recorded so far (rendered as n/a
 // cells in tables).
 func (s *Session) Faults() []RunFault {
@@ -382,6 +406,8 @@ func (s *Session) Stats() SessionStats {
 	if s.disk != nil {
 		st.StoreFailures = int(s.disk.storeFails.Load())
 		st.Quarantined = int(s.disk.quarantined.Load())
+		st.RemoteBlobHits = int(s.disk.remoteHits.Load())
+		st.RemoteBlobPuts = int(s.disk.remotePuts.Load())
 	}
 	return st
 }

@@ -46,20 +46,31 @@ type snapEntry struct {
 	err  error
 }
 
-// warmupKey is the spec's warmup identity: every field that shapes
-// post-warmup architectural state under CacheWarmOnly (workloads,
-// core count, system knobs, seed, warmup length) and none of the
-// prefetcher fields, which attach only at the measure boundary. Two
-// specs with equal warmup keys share one warmup.
-func (s *Session) warmupKey(spec RunSpec) string {
+// WarmupKey is a spec's warmup identity under scale: every field that
+// shapes post-warmup architectural state under CacheWarmOnly
+// (workloads, core count, system knobs, seed, warmup length) and none
+// of the prefetcher fields, which attach only at the measure boundary.
+// Two specs with equal warmup keys share one warmup. The coordinator
+// uses it to shard sweep grids so each warmup-identity group lands on
+// exactly one worker (where its snapshot is forked locally).
+func WarmupKey(scale Scale, spec RunSpec) string {
 	cores := spec.Cores
 	if cores == 0 {
 		cores = len(spec.Workloads)
 	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = scale.Seed
+	}
 	return fmt.Sprintf("%v|%d|%s|%.1f|%d|%d|%d|%d|%d|%d|%d",
 		spec.Workloads, cores, spec.LLCRepl, spec.DRAMGBps,
 		spec.L1PQ, spec.L1MSHR, spec.L1DWays, spec.L2Sets,
-		spec.LLCSetsPerCore, s.specSeed(spec), s.Scale.Warmup)
+		spec.LLCSetsPerCore, seed, scale.Warmup)
+}
+
+// warmupKey is WarmupKey under the session's own scale.
+func (s *Session) warmupKey(spec RunSpec) string {
+	return WarmupKey(s.Scale, spec)
 }
 
 // snapDiskKey is the content address of a warmup snapshot's disk spill.
@@ -215,6 +226,11 @@ func (s *Session) buildShared(spec RunSpec) (*sim.System, error) {
 // or recalling it from memory or the disk spill. The returned snapshot
 // is shared and immutable; RestoreSnapshot deep-copies out of it.
 func (s *Session) snapshotFor(ctx context.Context, spec RunSpec) (*sim.Snapshot, error) {
+	if s.testWarmupErr != nil {
+		if err := s.testWarmupErr(spec); err != nil {
+			return nil, err
+		}
+	}
 	wkey := s.warmupKey(spec)
 	for {
 		s.snapMu.Lock()
@@ -249,9 +265,14 @@ func (s *Session) snapshotFor(ctx context.Context, spec RunSpec) (*sim.Snapshot,
 				return nil, e.err
 			}
 			if e.snap != nil {
+				// Copy the pointer out under the lock: a concurrent
+				// eviction may null e.snap the moment snapMu releases,
+				// and the caller must get the still-valid snapshot,
+				// never a nil read racing the eviction.
+				snap := e.snap
 				s.snapMemHits++
 				s.snapMu.Unlock()
-				return e.snap, nil
+				return snap, nil
 			}
 			// Evicted from memory: re-load the disk spill.
 			s.snapMu.Unlock()

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"testing"
 
 	"ipcp/internal/sim"
@@ -186,5 +187,166 @@ func TestSweepCancelledWarmupRetries(t *testing.T) {
 	}
 	if _, err := s.RunShared(spec); err != nil {
 		t.Fatalf("live retry after cancelled warmup: %v", err)
+	}
+}
+
+// TestRunSweepOrderingUnderColdFallback pins RunSweep's result
+// placement: entry i always belongs to specs[i], even when some
+// points' snapshot path degrades and their cold fallbacks interleave
+// with other points' forked measures. Warmups are injected to fail for
+// one of the two workloads, so half the grid cold-runs while the other
+// half forks — concurrently — and every result must still land at the
+// caller's index with values byte-identical to an undegraded sweep
+// (forked and cold runs are bit-identical by construction).
+func TestRunSweepOrderingUnderColdFallback(t *testing.T) {
+	specs := sweepGrid()
+
+	ref := NewSession(sweepScale)
+	want, refErrs := ref.RunSweep(specs)
+	for i, err := range refErrs {
+		if err != nil {
+			t.Fatalf("reference spec %d: %v", i, err)
+		}
+	}
+
+	s := NewSession(sweepScale)
+	injected := errors.New("injected warmup degradation")
+	s.testWarmupErr = func(spec RunSpec) error {
+		if spec.Workloads[0] == "mcf-994" {
+			return injected
+		}
+		return nil
+	}
+	results, errs := s.RunSweep(specs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("spec %d (%s): %v", i, specs[i].Key(), err)
+		}
+		if marshalResult(t, results[i]) != marshalResult(t, want[i]) {
+			t.Errorf("spec %d (%s): result landed at the wrong index or diverged",
+				i, specs[i].Key())
+		}
+	}
+
+	// The degradation actually happened: only the bwaves half forked,
+	// the mcf half cold-ran, and nothing short-circuited via memo hits.
+	st := s.Stats()
+	if st.ForkedRuns != len(specs)/2 {
+		t.Errorf("ForkedRuns = %d, want %d (only the undegraded workload forks)",
+			st.ForkedRuns, len(specs)/2)
+	}
+	if st.Executed != len(specs) {
+		t.Errorf("Executed = %d, want %d", st.Executed, len(specs))
+	}
+}
+
+// TestSnapshotEvictionRefillsWithoutCache covers the FIFO eviction edge
+// with no cache directory: once more than snapMemCap warmup identities
+// resolve, the oldest snapshot's in-memory copy is dropped and there is
+// no disk spill to reload — a later fork of that identity must re-lead
+// the warmup (never serve a nil or torn snapshot) and produce a result
+// bit-identical to an eviction-free session.
+func TestSnapshotEvictionRefillsWithoutCache(t *testing.T) {
+	first := RunSpec{Workloads: []string{"mcf-994"}, L1D: "ipcp", Seed: 1}
+
+	s := NewSession(sweepScale)
+	if _, err := s.RunShared(first); err != nil {
+		t.Fatal(err)
+	}
+	// Resolve snapMemCap more identities (distinct seeds), evicting the
+	// first snapshot from memory.
+	for seed := int64(2); seed <= snapMemCap+1; seed++ {
+		if _, err := s.RunShared(RunSpec{Workloads: []string{"mcf-994"}, L1D: "ipcp", Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	// A NEW prefetcher point on the first identity: its snapshot is
+	// evicted and unspilled, so the warmup re-leads.
+	novel := first
+	novel.L1D = "spp"
+	evicted, err := s.RunShared(novel)
+	if err != nil {
+		t.Fatalf("post-eviction fork: %v", err)
+	}
+	st := s.Stats()
+	if st.SnapshotMisses != snapMemCap+2 {
+		t.Errorf("SnapshotMisses = %d, want %d (the evicted identity re-warms)",
+			st.SnapshotMisses, snapMemCap+2)
+	}
+
+	fresh := NewSession(sweepScale)
+	want, err := fresh.RunShared(novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshalResult(t, evicted) != marshalResult(t, want) {
+		t.Error("post-eviction result diverges from eviction-free session")
+	}
+}
+
+// TestSnapshotEvictionRacesLeaders stresses evictSnapshotsLocked
+// against concurrent leadWarmup calls: a sweep over 3× snapMemCap
+// warmup identities (×2 prefetcher points each) continuously evicts
+// while leaders resolve and followers fork. Run under -race, this is
+// the torn-snapshot detector; functionally, every point must succeed
+// and sampled results must match an eviction-free session.
+func TestSnapshotEvictionRacesLeaders(t *testing.T) {
+	const identities = 3 * snapMemCap
+	var specs []RunSpec
+	for seed := int64(1); seed <= identities; seed++ {
+		for _, l1d := range []string{"ipcp", "spp"} {
+			specs = append(specs, RunSpec{Workloads: []string{"mcf-994"}, L1D: l1d, Seed: seed})
+		}
+	}
+	s := NewSession(sweepScale)
+	results, errs := s.RunSweep(specs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("spec %d (%s): %v", i, specs[i].Key(), err)
+		}
+		if results[i] == nil {
+			t.Fatalf("spec %d: nil result", i)
+		}
+	}
+	// Spot-check determinism on the first identity (the most evicted).
+	fresh := NewSession(sweepScale)
+	want, err := fresh.RunShared(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshalResult(t, results[0]) != marshalResult(t, want) {
+		t.Error("eviction-stressed result diverges from fresh session")
+	}
+}
+
+// TestSnapshotEvictionServesSpillWithCache is the cheap-path
+// counterpart: with a cache directory attached, an evicted identity
+// reloads its disk spill instead of re-warming.
+func TestSnapshotEvictionServesSpillWithCache(t *testing.T) {
+	s := NewSession(sweepScale)
+	if err := s.SetCacheDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	first := RunSpec{Workloads: []string{"mcf-994"}, L1D: "ipcp", Seed: 1}
+	if _, err := s.RunShared(first); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(2); seed <= snapMemCap+1; seed++ {
+		if _, err := s.RunShared(RunSpec{Workloads: []string{"mcf-994"}, L1D: "ipcp", Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	novel := first
+	novel.L1D = "spp"
+	if _, err := s.RunShared(novel); err != nil {
+		t.Fatalf("post-eviction fork: %v", err)
+	}
+	st := s.Stats()
+	if st.SnapshotMisses != snapMemCap+1 {
+		t.Errorf("SnapshotMisses = %d, want %d (the evicted identity must reload its spill, not re-warm)",
+			st.SnapshotMisses, snapMemCap+1)
+	}
+	if st.SnapshotDiskHits != 1 {
+		t.Errorf("SnapshotDiskHits = %d, want 1", st.SnapshotDiskHits)
 	}
 }

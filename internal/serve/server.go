@@ -76,6 +76,12 @@ type Options struct {
 	// snapshot. Results use the cache-warm-only methodology (see
 	// DESIGN.md §15) and are cached separately from classic runs.
 	SharedWarmup bool
+	// RemoteBlobs, when set, attaches a shared second-level blob store
+	// (the coordinator's /v1/blobs service) behind the disk cache:
+	// local checkpoint/snapshot misses fall through to it and local
+	// writes are pushed to it, so any worker's result is every
+	// worker's disk hit. Requires CacheDir.
+	RemoteBlobs experiments.RemoteBlobs
 	// JournalDir, when set, write-ahead journals every job's
 	// submit/start/finish to CRC-framed, fsynced segment files. On
 	// startup the journal is replayed: finished jobs are re-served
@@ -158,6 +164,16 @@ func New(opts Options) (*Server, error) {
 	session := experiments.NewSessionContext(ctx, opts.Scale)
 	if opts.CacheDir != "" {
 		if err := session.SetCacheDir(opts.CacheDir); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	if opts.RemoteBlobs != nil {
+		if opts.CacheDir == "" {
+			cancel()
+			return nil, fmt.Errorf("serve: RemoteBlobs requires CacheDir")
+		}
+		if err := session.SetRemoteBlobs(opts.RemoteBlobs); err != nil {
 			cancel()
 			return nil, err
 		}
@@ -752,14 +768,37 @@ func writeAdmissionError(w http.ResponseWriter, err error) {
 // retryAfterBase is the midpoint of the jittered Retry-After hint.
 const retryAfterBase = 2 * time.Second
 
+// retryRNG is the jitter source behind retryAfter. It is a locked
+// *local* source, not the shared global math/rand state: request
+// handlers must not contend on (or perturb) whatever else in the
+// process uses the global generator, and tests must be able to seed
+// the jitter deterministically without racing other rand users.
+var retryRNG = struct {
+	sync.Mutex
+	*rand.Rand
+}{Rand: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+// seedRetryJitter reseeds the jitter source; tests use it to make the
+// probabilistic rounding in retryAfter reproducible.
+func seedRetryJitter(seed int64) {
+	retryRNG.Lock()
+	retryRNG.Rand = rand.New(rand.NewSource(seed))
+	retryRNG.Unlock()
+}
+
 // retryAfter renders base ± 25% jitter as whole seconds, so a burst of
 // rejected clients does not re-arrive as one synchronized burst. The
 // sub-second remainder rounds probabilistically — integer granularity
-// would otherwise collapse the jitter back onto a single value.
+// would otherwise collapse the jitter back onto a single value. Both
+// draws come from one locked acquisition so a seeded sequence is
+// deterministic even under concurrent handlers.
 func retryAfter() string {
-	secs := retryAfterBase.Seconds() * (0.75 + 0.5*rand.Float64())
+	retryRNG.Lock()
+	scale, round := retryRNG.Float64(), retryRNG.Float64()
+	retryRNG.Unlock()
+	secs := retryAfterBase.Seconds() * (0.75 + 0.5*scale)
 	n := int(secs)
-	if rand.Float64() < secs-float64(n) {
+	if round < secs-float64(n) {
 		n++
 	}
 	if n < 1 {
@@ -777,10 +816,33 @@ func (s *Server) timeout(ms int64) time.Duration {
 	return d
 }
 
+// maxRequestBody bounds every JSON request body. Decoding used to run
+// behind a silent io.LimitReader truncation, which surfaced a multi-MB
+// body as a confusing 400 "unexpected EOF" (and, before the limit, as
+// an unbounded allocation); MaxBytesReader both caps the read and lets
+// the handler answer an honest 413.
+const maxRequestBody = 1 << 20
+
+// decodeRequest decodes a bounded JSON body into v. The returned
+// status is 413 when the body blew the cap, 400 for malformed JSON,
+// 200 on success.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decoding request: %w", err)
+	}
+	return http.StatusOK, nil
+}
+
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if code, err := decodeRequest(w, r, &req); err != nil {
+		writeError(w, code, err)
 		return
 	}
 	if err := req.validate(); err != nil {
@@ -815,8 +877,8 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmitExperiments(w http.ResponseWriter, r *http.Request) {
 	var req experimentsRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if code, err := decodeRequest(w, r, &req); err != nil {
+		writeError(w, code, err)
 		return
 	}
 	if len(req.IDs) == 0 {
@@ -1052,6 +1114,12 @@ type MetricsSnapshot struct {
 		SnapshotBytes    int64 `json:"snapshot_bytes"`
 		WarmupsCoalesced int   `json:"warmups_coalesced"`
 		ForkedRuns       int   `json:"forked_runs"`
+
+		// Remote blob traffic (all zero unless the daemon runs as a
+		// -worker attached to a coordinator blob store): local misses
+		// satisfied by the shared store and local writes pushed to it.
+		RemoteBlobHits int `json:"remote_blob_hits"`
+		RemoteBlobPuts int `json:"remote_blob_puts"`
 	} `json:"session"`
 
 	// Journal counters: the WAL's health this process life. AppendErrors
@@ -1101,6 +1169,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 	m.Session.SnapshotBytes = st.SnapshotBytes
 	m.Session.WarmupsCoalesced = st.WarmupsCoalesced
 	m.Session.ForkedRuns = st.ForkedRuns
+	m.Session.RemoteBlobHits = st.RemoteBlobHits
+	m.Session.RemoteBlobPuts = st.RemoteBlobPuts
 	if s.journal != nil {
 		m.Journal.Enabled = true
 		m.Journal.ReplayedJobs = s.journal.replayed.Load()
