@@ -1,0 +1,138 @@
+package audit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"ipcp/internal/sim"
+	"ipcp/internal/telemetry"
+	"ipcp/internal/trace"
+	"ipcp/internal/workload"
+)
+
+// This file is the parallel-vs-sequential differential: every mix runs
+// twice — stepped by the sequential scheduler and by the parallel
+// epoch-barrier engine — and the two runs are held to bit-identity.
+// The audit oracles themselves cannot ride along (their hooks fire
+// inside slice cycles, which is exactly why the parallel engine
+// declines to run under Config.Audit), so the evidence compared is the
+// same the determinism goldens pin: the fully marshaled Result and the
+// interval-metrics timeline.
+
+// ParallelSpec is one multi-core mix of the parallel differential.
+type ParallelSpec struct {
+	Name      string
+	Workloads []string
+	Seed      int64
+	L1D, L2   string
+}
+
+// ParallelSpecs returns the default differential mixes: the spatial
+// classes the paper's Fig. 15 sweeps lean on (dense streaming,
+// irregular, constant stride, big-code), at 2 and 4 cores, with and
+// without IPCP. Under full (AUDIT_FULL) sweeps an 8-core mix rides
+// along.
+func ParallelSpecs(full bool) []ParallelSpec {
+	specs := []ParallelSpec{
+		{Name: "pair-ipcp", Seed: 2, L1D: "ipcp", L2: "ipcp",
+			Workloads: []string{"lbm-94", "mcf-1536"}},
+		{Name: "mix4-ipcp", Seed: 3, L1D: "ipcp", L2: "ipcp",
+			Workloads: []string{"lbm-94", "mcf-1536", "bwaves-2931", "exchange2-387"}},
+		{Name: "mix4-none", Seed: 5,
+			Workloads: []string{"roms-1070", "omnetpp-17", "gcc-2226", "xalancbmk-165"}},
+	}
+	if full {
+		specs = append(specs, ParallelSpec{
+			Name: "mix8-ipcp", Seed: 7, L1D: "ipcp", L2: "ipcp",
+			Workloads: []string{"lbm-94", "mcf-1536", "bwaves-2931", "exchange2-387",
+				"roms-1070", "omnetpp-17", "gcc-2226", "xalancbmk-165"},
+		})
+	}
+	return specs
+}
+
+// runParallelSpec executes one mix with the given engine selection and
+// returns the marshaled Result plus the interval timeline.
+func runParallelSpec(ctx context.Context, spec ParallelSpec, parallel bool, opt RunOptions) ([]byte, []telemetry.Sample, error) {
+	cfg := sim.PaperConfig(len(spec.Workloads))
+	cfg.Seed = opt.Seed
+	cfg.L1DPrefetcher = sim.PrefetcherSpec{Name: spec.L1D}
+	cfg.L2Prefetcher = sim.PrefetcherSpec{Name: spec.L2}
+	cfg.ParallelCores = parallel
+
+	streams := make([]trace.Stream, len(spec.Workloads))
+	for i, name := range spec.Workloads {
+		w, err := workload.Named(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		streams[i] = w.New(spec.Seed)
+	}
+	sys, err := sim.Build(cfg, streams)
+	if err != nil {
+		return nil, nil, err
+	}
+	ilog := telemetry.NewIntervalLog(1024)
+	sys.SetIntervalLog(ilog)
+	res, err := sys.RunContext(ctx, opt.Warmup, opt.Measure)
+	if err != nil {
+		return nil, nil, fmt.Errorf("audit: %s (%s): %w", spec.Name, parMode(parallel), err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, ilog.Samples(), nil
+}
+
+func parMode(parallel bool) string {
+	if parallel {
+		return "parallel"
+	}
+	return "sequential"
+}
+
+// RunParallelSuite runs the parallel-vs-sequential differential over
+// the given mixes and reports divergences. A clean report means the
+// epoch-barrier engine is bit-identical to the sequential scheduler on
+// every mix: marshaled Results and interval timelines byte for byte.
+func RunParallelSuite(ctx context.Context, specs []ParallelSpec, opt RunOptions) (*SuiteReport, error) {
+	opt = opt.withDefaults()
+	rep := &SuiteReport{}
+	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		seqRes, seqSamples, err := runParallelSpec(ctx, spec, false, opt)
+		if err != nil {
+			return rep, err
+		}
+		parRes, parSamples, err := runParallelSpec(ctx, spec, true, opt)
+		if err != nil {
+			return rep, err
+		}
+		rep.Workloads++
+		rep.Runs += 2
+		if string(seqRes) != string(parRes) {
+			rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+				"%s: parallel Result diverges from sequential:\n  seq: %s\n  par: %s",
+				spec.Name, seqRes, parRes))
+		}
+		if len(seqSamples) != len(parSamples) {
+			rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+				"%s: interval sample count %d (sequential) vs %d (parallel)",
+				spec.Name, len(seqSamples), len(parSamples)))
+			continue
+		}
+		for i := range seqSamples {
+			if seqSamples[i] != parSamples[i] {
+				rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+					"%s: interval sample %d diverges:\n  seq: %+v\n  par: %+v",
+					spec.Name, i, seqSamples[i], parSamples[i]))
+				break // one divergent interval shifts everything after it
+			}
+		}
+	}
+	return rep, nil
+}

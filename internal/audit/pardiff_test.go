@@ -1,0 +1,29 @@
+package audit
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+// TestParallelDifferentialSuite holds the parallel epoch-barrier
+// engine to bit-identity with the sequential scheduler across the
+// multi-core differential mixes (plus the 8-core mix under
+// AUDIT_FULL=1, which `make audit` sets).
+func TestParallelDifferentialSuite(t *testing.T) {
+	full := os.Getenv("AUDIT_FULL") != ""
+	opt := RunOptions{}
+	if full {
+		opt.Warmup, opt.Measure = 5_000, 20_000
+	}
+	rep, err := RunParallelSuite(context.Background(), ParallelSpecs(full), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(rep.String())
+	}
+	if rep.Workloads == 0 {
+		t.Fatal("parallel differential suite ran no mixes")
+	}
+}

@@ -3,9 +3,14 @@ package memsys
 import "fmt"
 
 // RequestPool is a free list of Request values shared by the components
-// of one simulated system. The simulator is single-threaded per system,
-// so a plain slice beats sync.Pool: no locking, no per-P caches, and
-// requests recycle deterministically.
+// of one simulated system. A pool is only ever touched from one
+// goroutine at a time — sequential stepping is single-threaded, and the
+// parallel engine gives each core slice a private pool (the shared
+// LLC/DRAM pool is touched only with the slice workers parked) — so a
+// plain slice beats sync.Pool: no locking, no per-P caches, and
+// requests recycle deterministically. Requests may migrate between
+// pools (created from one, recycled into another); a Request carries no
+// pool affinity, so migration is harmless.
 //
 // Ownership protocol: the component that finishes a request recycles
 // it — a core recycles its own requests when ReturnData hands them

@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ipcp/internal/cpu"
+	"ipcp/internal/telemetry"
+)
+
+// runParallel runs one determinism-matrix spec with the given
+// ParallelCores setting (fast-forward on — the production scheduler).
+func runParallel(t *testing.T, d detSpec, parallel bool, ilog *telemetry.IntervalLog) *Result {
+	t.Helper()
+	cfg := PaperConfig(len(d.workloads))
+	cfg.Seed = d.seed
+	cfg.L1DPrefetcher = PrefetcherSpec{Name: d.l1d}
+	cfg.L2Prefetcher = PrefetcherSpec{Name: d.l2}
+	cfg.ParallelCores = parallel
+	sys, err := Build(cfg, streamsFor(t, d.workloads, d.seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ilog != nil {
+		sys.SetIntervalLog(ilog)
+	}
+	res, err := sys.Run(2000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelMatchesSequential is the parallel engine's golden test:
+// for every determinism-matrix spec, the epoch-barrier engine must
+// produce a bit-identical marshaled Result to the sequential scheduler
+// — same cycles, hit/miss counters, per-class prefetch statistics,
+// stall accounting and DRAM counters. Single-core specs exercise the
+// sequential fallback path.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, d := range detMatrix {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			seq := marshal(t, runParallel(t, d, false, nil))
+			par := marshal(t, runParallel(t, d, true, nil))
+			if string(seq) != string(par) {
+				t.Errorf("parallel Result diverges from sequential:\nseq: %s\npar: %s", seq, par)
+			}
+		})
+	}
+}
+
+// TestParallelIntervalSamples holds the interval timeline to the same
+// bit-identity: samples must land on the same cycle boundaries with
+// the same contents whether the system was stepped sequentially or
+// through the barrier.
+func TestParallelIntervalSamples(t *testing.T) {
+	d := detMatrix[len(detMatrix)-1] // mix4-ipcp, the 4-core spec
+	if len(d.workloads) < 2 {
+		t.Fatal("expected a multi-core spec at the end of detMatrix")
+	}
+	seqLog := telemetry.NewIntervalLog(2048)
+	parLog := telemetry.NewIntervalLog(2048)
+	runParallel(t, d, false, seqLog)
+	runParallel(t, d, true, parLog)
+	seq, par := seqLog.Samples(), parLog.Samples()
+	if len(seq) == 0 {
+		t.Fatal("no interval samples recorded")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("sample count diverges: sequential %d vs parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("sample %d diverges:\nseq: %+v\npar: %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestParallelGOMAXPROCS1 pins scheduler independence: the barrier
+// spins yield, so the engine must produce the same bit-identical
+// result with a single OS thread as with all of them — determinism
+// cannot depend on goroutines actually running in parallel.
+func TestParallelGOMAXPROCS1(t *testing.T) {
+	d := detMatrix[len(detMatrix)-1]
+	ref := marshal(t, runParallel(t, d, false, nil))
+
+	prev := runtime.GOMAXPROCS(1)
+	one := marshal(t, runParallel(t, d, true, nil))
+	runtime.GOMAXPROCS(prev)
+	many := marshal(t, runParallel(t, d, true, nil))
+
+	if string(one) != string(ref) {
+		t.Errorf("GOMAXPROCS=1 parallel run diverges from sequential:\npar: %s\nref: %s", one, ref)
+	}
+	if string(many) != string(ref) {
+		t.Errorf("GOMAXPROCS=%d parallel run diverges from sequential:\npar: %s\nref: %s", prev, many, ref)
+	}
+}
+
+// TestParallelForkFromSnapshot drives the warmup-forking path through
+// the parallel engine: a measure phase forked from a (sequentially
+// captured) warmup snapshot and stepped through the barrier must be
+// bit-identical to the same fork stepped sequentially, and to a cold
+// shared-warmup run.
+func TestParallelForkFromSnapshot(t *testing.T) {
+	d := detSpec{name: "fork-par", seed: 2, l1d: "ipcp", l2: "ipcp",
+		workloads: []string{"lbm-94", "mcf-1536"}}
+	const warmup, measure = 2000, 10000
+
+	cold := marshal(t, coldRun(t, d, warmup, measure))
+	snap := forkSnapshot(t, d, warmup)
+
+	forkWith := func(parallel bool) []byte {
+		cfg := forkCfg(d)
+		cfg.ParallelCores = parallel
+		sys, err := Build(cfg, streamsFor(t, d.workloads, d.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.RestoreSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AttachPrefetchers(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.RunMeasure(context.Background(), measure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return marshal(t, res)
+	}
+
+	seqFork := forkWith(false)
+	parFork := forkWith(true)
+	if string(seqFork) != string(parFork) {
+		t.Errorf("parallel fork diverges from sequential fork:\nseq: %s\npar: %s", seqFork, parFork)
+	}
+	if string(parFork) != string(cold) {
+		t.Errorf("parallel fork diverges from cold run:\ncold: %s\npar:  %s", cold, parFork)
+	}
+}
+
+// TestParallelCancelMidRun stress-tests the barrier under cancellation
+// arriving at arbitrary points mid-run (including mid-epoch from the
+// engine's perspective): the run must either finish cleanly or return
+// the cancellation error, and in both cases the engine must park and
+// unwire its workers without leaks or races (this test earns its keep
+// under -race, which `make test` applies).
+func TestParallelCancelMidRun(t *testing.T) {
+	d := detSpec{seed: 3, l1d: "ipcp", l2: "ipcp",
+		workloads: []string{"lbm-94", "mcf-1536", "bwaves-2931", "exchange2-387"}}
+	for _, delay := range []time.Duration{
+		0, 50 * time.Microsecond, 200 * time.Microsecond,
+		1 * time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond,
+	} {
+		cfg := PaperConfig(len(d.workloads))
+		cfg.Seed = d.seed
+		cfg.L1DPrefetcher = PrefetcherSpec{Name: d.l1d}
+		cfg.L2Prefetcher = PrefetcherSpec{Name: d.l2}
+		cfg.ParallelCores = true
+		sys, err := Build(cfg, streamsFor(t, d.workloads, d.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(delay time.Duration) {
+			time.Sleep(delay)
+			cancel()
+		}(delay)
+		_, err = sys.RunContext(ctx, 5000, 50000)
+		cancel()
+		if err != nil && !strings.Contains(err.Error(), "cancelled") {
+			t.Fatalf("delay %v: unexpected error: %v", delay, err)
+		}
+	}
+}
+
+// TestScanFinishedSentinel pins the explicit finished flag: a core
+// whose finish cycle is recorded as 0 (legitimate — the scan runs at
+// whatever cycle the loop is at) must not be re-counted on later
+// scans, which the old `finish[i] == 0` encoding could not guarantee.
+func TestScanFinishedSentinel(t *testing.T) {
+	cores := []*cpu.Core{{}, {}}
+	cores[0].Stats.Retired = 10
+
+	finish := make([]int64, 2)
+	finished := make([]bool, 2)
+
+	if n := scanFinished(cores, 0, 10, finish, finished); n != 1 {
+		t.Fatalf("first scan counted %d cores, want 1", n)
+	}
+	if !finished[0] || finish[0] != 0 {
+		t.Fatalf("core 0 should be finished at cycle 0: finished=%v finish=%d", finished[0], finish[0])
+	}
+	// Core 0's recorded cycle is 0 — the exact value the old sentinel
+	// used for "not yet finished". It must not be counted again.
+	if n := scanFinished(cores, 7, 10, finish, finished); n != 0 {
+		t.Fatalf("rescan re-counted an already finished core (%d)", n)
+	}
+	if finish[0] != 0 {
+		t.Fatalf("rescan moved core 0's finish cycle to %d", finish[0])
+	}
+
+	cores[1].Stats.Retired = 12
+	if n := scanFinished(cores, 9, 10, finish, finished); n != 1 {
+		t.Fatalf("core 1 scan counted %d cores, want 1", n)
+	}
+	if finish[1] != 9 || !finished[1] {
+		t.Fatalf("core 1 finish not recorded: finished=%v finish=%d", finished[1], finish[1])
+	}
+}
+
+// TestIntervalDeltasSumAcrossZeroRetire is the interval-timeline
+// accounting regression test: on a workload that stalls long enough to
+// produce intervals with zero retired instructions, every counter
+// column of the timeline — instructions, raw demand misses, DRAM
+// bytes, per-class prefetch counters — must still sum exactly to the
+// end-of-run totals. (Before the raw-miss columns existed, a
+// zero-retire interval's misses surfaced only through the
+// instruction-gated MPKI fields and vanished from the timeline while
+// the delta baseline advanced past them.)
+func TestIntervalDeltasSumAcrossZeroRetire(t *testing.T) {
+	cfg := PaperConfig(1)
+	cfg.Seed = 4
+	cfg.L1DPrefetcher = PrefetcherSpec{Name: "ipcp"}
+	cfg.L2Prefetcher = PrefetcherSpec{Name: "ipcp"}
+	sys, err := Build(cfg, streamsFor(t, []string{"mcf-1536"}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilog := telemetry.NewIntervalLog(50)
+	sys.SetIntervalLog(ilog)
+	res, err := sys.Run(2000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples := ilog.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no interval samples recorded")
+	}
+	zeroRetire := 0
+	var sumInstr, sumL1D, sumL2, sumLLC, sumBytes uint64
+	var sumIssued, sumFills, sumUseful uint64
+	for _, sm := range samples {
+		if sm.Instructions == 0 {
+			zeroRetire++
+		}
+		sumInstr += sm.Instructions
+		sumL1D += sm.L1DMisses
+		sumL2 += sm.L2Misses
+		sumLLC += sm.LLCMisses
+		sumBytes += sm.DRAMBytes
+		for cls := range sm.Classes {
+			sumIssued += sm.Classes[cls].Issued
+			sumFills += sm.Classes[cls].Fills
+			sumUseful += sm.Classes[cls].Useful
+		}
+	}
+	if zeroRetire == 0 {
+		t.Fatal("no zero-retire interval occurred; shrink the interval length so the test forces the regression scenario")
+	}
+
+	var totInstr, totL1D, totL2 uint64
+	for i := 0; i < res.Cores; i++ {
+		totInstr += res.CoreStats[i].Retired
+		totL1D += res.L1D[i].DemandMisses()
+		totL2 += res.L2[i].DemandMisses()
+	}
+	if sumInstr != totInstr {
+		t.Errorf("interval instructions sum %d != end-of-run total %d", sumInstr, totInstr)
+	}
+	if sumL1D != totL1D {
+		t.Errorf("interval L1D miss sum %d != end-of-run total %d", sumL1D, totL1D)
+	}
+	if sumL2 != totL2 {
+		t.Errorf("interval L2 miss sum %d != end-of-run total %d", sumL2, totL2)
+	}
+	if tot := res.LLC.DemandMisses(); sumLLC != tot {
+		t.Errorf("interval LLC miss sum %d != end-of-run total %d", sumLLC, tot)
+	}
+	if tot := res.DRAM.BytesTransferred(); sumBytes != tot {
+		t.Errorf("interval DRAM byte sum %d != end-of-run total %d", sumBytes, tot)
+	}
+	var totIssued, totFills, totUseful uint64
+	for _, snap := range res.IPCPL1 {
+		if snap == nil {
+			t.Fatal("expected an introspectable L1D prefetcher")
+		}
+		for cls := range snap.Classes {
+			totIssued += snap.Classes[cls].Issued
+			totFills += snap.Classes[cls].Fills
+			totUseful += snap.Classes[cls].Useful
+		}
+	}
+	if sumIssued != totIssued || sumFills != totFills || sumUseful != totUseful {
+		t.Errorf("per-class interval sums (%d/%d/%d issued/fills/useful) != totals (%d/%d/%d)",
+			sumIssued, sumFills, sumUseful, totIssued, totFills, totUseful)
+	}
+}
+
+// TestApplyClassStateAggregates pins the multi-core degree/accuracy
+// aggregation: the reported end-of-interval state is the mean across
+// introspectable cores (rounded to nearest for the integer degree),
+// and exactly the single core's state when there is only one.
+func TestApplyClassStateAggregates(t *testing.T) {
+	var a, b telemetry.Snapshot
+	a.Classes[1].Degree, a.Classes[1].Accuracy = 2, 0.5
+	b.Classes[1].Degree, b.Classes[1].Accuracy = 3, 0.7
+
+	var sm telemetry.Sample
+	applyClassState(&sm, []telemetry.Snapshot{a, b})
+	if got := sm.Classes[1].Degree; got != 3 { // mean 2.5 rounds to 3
+		t.Errorf("aggregated degree = %d, want 3", got)
+	}
+	if got := sm.Classes[1].Accuracy; got < 0.5999 || got > 0.6001 {
+		t.Errorf("aggregated accuracy = %v, want 0.6", got)
+	}
+
+	var single telemetry.Sample
+	applyClassState(&single, []telemetry.Snapshot{a})
+	if single.Classes[1].Degree != 2 || single.Classes[1].Accuracy != 0.5 {
+		t.Errorf("single-core aggregation altered the values: %+v", single.Classes[1])
+	}
+
+	var untouched telemetry.Sample
+	untouched.Classes[1].Degree = 7
+	applyClassState(&untouched, nil)
+	if untouched.Classes[1].Degree != 7 {
+		t.Error("aggregation with no snapshots should leave the sample untouched")
+	}
+}

@@ -235,8 +235,9 @@ func Build(cfg Config, streams []trace.Stream) (*System, error) {
 		s.l2s = append(s.l2s, l2)
 	}
 
-	// One request free list per system (the simulator is single-threaded
-	// within a system; separate systems may run concurrently).
+	// One request free list per system (sequential stepping is
+	// single-threaded within a system; the parallel engine swaps in
+	// per-slice pools for the duration of its phase loops).
 	pool := memsys.NewRequestPool()
 	s.pool = pool
 	s.mem.SetRequestPool(pool)
@@ -399,6 +400,16 @@ func (s *System) flushInterval() {
 		sm.L2MPKI = float64(cur.l2Miss-prev.l2Miss) / ki
 		sm.LLCMPKI = float64(cur.llcMiss-prev.llcMiss) / ki
 	}
+	// The raw miss deltas are recorded unconditionally: a zero-retire
+	// interval (a fast-forwarded fully stalled span) can still complete
+	// in-flight L2/LLC misses and move DRAM data, and the baseline
+	// below always advances past them — misses reported only through
+	// the instruction-gated MPKI columns would silently vanish from the
+	// timeline, breaking deltas-sum-to-totals (pinned by
+	// TestIntervalDeltasSumAcrossZeroRetire).
+	sm.L1DMisses = cur.l1dMiss - prev.l1dMiss
+	sm.L2Misses = cur.l2Miss - prev.l2Miss
+	sm.LLCMisses = cur.llcMiss - prev.llcMiss
 	sm.DRAMBytes = cur.dramBytes - prev.dramBytes
 	if dc := cur.dramCycles - prev.dramCycles; dc > 0 {
 		sm.DRAMBusUtil = float64(cur.dramBusy-prev.dramBusy) / float64(dc)
@@ -410,18 +421,43 @@ func (s *System) flushInterval() {
 			Useful: cur.classUseful[cls] - prev.classUseful[cls],
 		}
 	}
-	// Degree/accuracy are end-of-interval state, reported for core 0
-	// (the only core of the single-core runs this timeline targets).
-	if in, ok := introspector(s.l1ds[0].Prefetcher()); ok {
-		snap := in.TelemetrySnapshot()
-		for cls := 0; cls < memsys.NumClasses; cls++ {
-			sm.Classes[cls].Degree = snap.Classes[cls].Degree
-			sm.Classes[cls].Accuracy = snap.Classes[cls].Accuracy
+	// Degree/accuracy are end-of-interval state, averaged across every
+	// introspectable core — an explicit aggregate, not core 0's state
+	// attributed to the whole system. A single-core run reports core
+	// 0's values exactly (the mean of one is the value itself).
+	var snaps []telemetry.Snapshot
+	for i := range s.l1ds {
+		if in, ok := introspector(s.l1ds[i].Prefetcher()); ok {
+			snaps = append(snaps, in.TelemetrySnapshot())
 		}
 	}
+	applyClassState(&sm, snaps)
 	s.ilog.Record(sm)
+	// The delta baseline advances unconditionally — gating it on
+	// interval activity would leave it stale across an idle interval
+	// and double-count that interval's counters into the next sample.
 	s.prevCum = cur
 	s.lastSample = s.cycle
+}
+
+// applyClassState fills sm's per-class Degree/Accuracy with the mean
+// of the given end-of-interval prefetcher snapshots (integer degrees
+// round to nearest). No snapshots leaves the zero values in place.
+func applyClassState(sm *telemetry.Sample, snaps []telemetry.Snapshot) {
+	n := len(snaps)
+	if n == 0 {
+		return
+	}
+	for cls := 0; cls < memsys.NumClasses; cls++ {
+		var deg int
+		var acc float64
+		for i := range snaps {
+			deg += snaps[i].Classes[cls].Degree
+			acc += snaps[i].Classes[cls].Accuracy
+		}
+		sm.Classes[cls].Degree = (deg + n/2) / n
+		sm.Classes[cls].Accuracy = acc / float64(n)
+	}
 }
 
 // step advances the whole system one cycle, memory side first so that
@@ -622,35 +658,15 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (res *R
 		phaseSpan.End()
 	}()
 
-	maxCycles := s.cfg.MaxCycles
-	if maxCycles == 0 {
-		// A generous bound: no workload should average > 500
-		// cycles/instruction.
-		maxCycles = int64(warmup+measure)*500 + 1_000_000
-	}
-	deadline := s.cycle + maxCycles
-	nextCancel := s.cycle
+	// Warmup and measurement share one cycle budget and one
+	// cancellation cadence (a fast-forward-heavy warmup must not eat
+	// the measure phase's error margin twice).
+	ctl := s.newLoopCtl(warmup + measure)
 
-	// Warmup.
 	_, phaseSpan = telemetry.StartSpan(ctx, "sim.warmup")
 	report("warmup", warmup)
-	for !s.allRetired(warmup) {
-		if s.cycle >= deadline {
-			return nil, fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
-		}
-		if s.cycle >= nextCancel {
-			nextCancel = s.cycle + cancelCheckInterval
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: warmup cancelled at cycle %d: %w", s.cycle, err)
-			}
-			report("warmup", warmup)
-		}
-		s.step()
-		// The retirement check must see the exact post-step cycle, so
-		// fast-forward only once the loop is known to continue.
-		if !s.allRetired(warmup) {
-			s.fastForward(deadline)
-		}
+	if err := s.warmupLoop(ctx, warmup, ctl, func() { report("warmup", warmup) }); err != nil {
+		return nil, err
 	}
 	s.resetStats()
 	start := s.cycle
@@ -658,69 +674,14 @@ func (s *System) RunContext(ctx context.Context, warmup, measure uint64) (res *R
 
 	_, phaseSpan = telemetry.StartSpan(ctx, "sim.measure")
 	report("measure", measure)
-	finish := make([]int64, s.cfg.Cores)
-	done := 0
-	for done < s.cfg.Cores {
-		if s.cycle >= deadline {
-			return nil, fmt.Errorf("sim: measurement exceeded %d cycles (%d/%d cores finished)",
-				maxCycles, done, s.cfg.Cores)
-		}
-		if s.cycle >= nextCancel {
-			nextCancel = s.cycle + cancelCheckInterval
-			if err := ctx.Err(); err != nil {
-				if s.sampling {
-					s.flushInterval()
-					s.sampling = false
-				}
-				return nil, fmt.Errorf("sim: measurement cancelled at cycle %d: %w", s.cycle, err)
-			}
-			report("measure", measure)
-		}
-		s.step()
-		for i, c := range s.cores {
-			if finish[i] == 0 && c.Retired() >= measure {
-				finish[i] = s.cycle
-				done++
-			}
-		}
-		// Fast-forward only after the finish scan: a finishing core's
-		// recorded cycle must be the stepped cycle, not a jump target.
-		if done < s.cfg.Cores {
-			s.fastForward(deadline)
-		}
+	finish, err := s.measureLoop(ctx, measure, ctl, func() { report("measure", measure) })
+	if err != nil {
+		return nil, err
 	}
-
 	report("measure", measure)
 	phaseSpan.End()
 
-	// Close the last (partial) interval so the timeline's deltas sum
-	// exactly to the end-of-run totals.
-	if s.sampling {
-		s.flushInterval()
-		s.sampling = false
-	}
-
-	res = &Result{
-		Cores:            s.cfg.Cores,
-		Instructions:     measure,
-		CyclesPerCore:    make([]int64, s.cfg.Cores),
-		IPC:              make([]float64, s.cfg.Cores),
-		LLC:              s.llc.Stats,
-		DRAM:             s.mem.Stats,
-		PrefetcherFaults: s.PrefetcherFaults(),
-	}
-	for i := range s.cores {
-		cyc := finish[i] - start
-		res.CyclesPerCore[i] = cyc
-		res.IPC[i] = float64(measure) / float64(cyc)
-		res.CoreStats = append(res.CoreStats, s.cores[i].Stats)
-		res.L1D = append(res.L1D, s.l1ds[i].Stats)
-		res.L1I = append(res.L1I, s.l1is[i].Stats)
-		res.L2 = append(res.L2, s.l2s[i].Stats)
-		res.IPCPL1 = append(res.IPCPL1, snapshotOf(s.l1ds[i]))
-		res.IPCPL2 = append(res.IPCPL2, snapshotOf(s.l2s[i]))
-	}
-	return res, nil
+	return s.buildResult(measure, start, finish), nil
 }
 
 // snapshotOf returns the cache's prefetcher introspection snapshot, or
@@ -777,11 +738,13 @@ func (s *System) Advance(n uint64) error {
 	}
 	target := minRetired + n
 	deadline := s.cycle + int64(n)*500 + 1_000_000
+	exec := s.newExecutor()
+	defer exec.close()
 	for !s.allRetired(target) {
 		if s.cycle >= deadline {
 			return fmt.Errorf("sim: Advance(%d) exceeded %d cycles", n, deadline-s.cycle)
 		}
-		s.step()
+		exec.step()
 		if !s.allRetired(target) {
 			s.fastForward(deadline)
 		}

@@ -127,30 +127,14 @@ func (s *System) RunWarmup(ctx context.Context, warmup uint64) (err error) {
 		phaseSpan.End()
 	}()
 
-	maxCycles := s.cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = int64(warmup)*500 + 1_000_000
-	}
-	deadline := s.cycle + maxCycles
-	nextCancel := s.cycle
+	ctl := s.newLoopCtl(warmup)
 	report()
-	for !s.allRetired(warmup) {
-		if s.cycle >= deadline {
-			return fmt.Errorf("sim: warmup exceeded %d cycles", maxCycles)
-		}
-		if s.cycle >= nextCancel {
-			nextCancel = s.cycle + cancelCheckInterval
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("sim: warmup cancelled at cycle %d: %w", s.cycle, err)
-			}
-			report()
-		}
-		s.step()
-		if !s.allRetired(warmup) {
-			s.fastForward(deadline)
-		}
+	if err := s.warmupLoop(ctx, warmup, ctl, report); err != nil {
+		return err
 	}
 	report()
+	// The drain is a few hundred cycles of tail work; it runs on the
+	// sequential scheduler regardless of ParallelCores.
 	return s.drain(ctx)
 }
 
@@ -316,70 +300,14 @@ func (s *System) RunMeasure(ctx context.Context, measure uint64) (res *Result, e
 	s.resetStats()
 	start := s.cycle
 
-	maxCycles := s.cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = int64(measure)*500 + 1_000_000
-	}
-	deadline := s.cycle + maxCycles
-	nextCancel := s.cycle
+	ctl := s.newLoopCtl(measure)
 	report()
-	finish := make([]int64, s.cfg.Cores)
-	done := 0
-	for done < s.cfg.Cores {
-		if s.cycle >= deadline {
-			return nil, fmt.Errorf("sim: measurement exceeded %d cycles (%d/%d cores finished)",
-				maxCycles, done, s.cfg.Cores)
-		}
-		if s.cycle >= nextCancel {
-			nextCancel = s.cycle + cancelCheckInterval
-			if err := ctx.Err(); err != nil {
-				if s.sampling {
-					s.flushInterval()
-					s.sampling = false
-				}
-				return nil, fmt.Errorf("sim: measurement cancelled at cycle %d: %w", s.cycle, err)
-			}
-			report()
-		}
-		s.step()
-		for i, c := range s.cores {
-			if finish[i] == 0 && c.Retired() >= measure {
-				finish[i] = s.cycle
-				done++
-			}
-		}
-		if done < s.cfg.Cores {
-			s.fastForward(deadline)
-		}
+	finish, err := s.measureLoop(ctx, measure, ctl, report)
+	if err != nil {
+		return nil, err
 	}
 	report()
-
-	if s.sampling {
-		s.flushInterval()
-		s.sampling = false
-	}
-
-	res = &Result{
-		Cores:            s.cfg.Cores,
-		Instructions:     measure,
-		CyclesPerCore:    make([]int64, s.cfg.Cores),
-		IPC:              make([]float64, s.cfg.Cores),
-		LLC:              s.llc.Stats,
-		DRAM:             s.mem.Stats,
-		PrefetcherFaults: s.PrefetcherFaults(),
-	}
-	for i := range s.cores {
-		cyc := finish[i] - start
-		res.CyclesPerCore[i] = cyc
-		res.IPC[i] = float64(measure) / float64(cyc)
-		res.CoreStats = append(res.CoreStats, s.cores[i].Stats)
-		res.L1D = append(res.L1D, s.l1ds[i].Stats)
-		res.L1I = append(res.L1I, s.l1is[i].Stats)
-		res.L2 = append(res.L2, s.l2s[i].Stats)
-		res.IPCPL1 = append(res.IPCPL1, snapshotOf(s.l1ds[i]))
-		res.IPCPL2 = append(res.IPCPL2, snapshotOf(s.l2s[i]))
-	}
-	return res, nil
+	return s.buildResult(measure, start, finish), nil
 }
 
 // EncodeSnapshot serializes snap (gob) for the disk spill path.

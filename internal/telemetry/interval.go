@@ -10,8 +10,9 @@ import (
 
 // ClassSample is one IPCP class's activity within one interval. Issued,
 // Fills and Useful are interval deltas (summed across cores); Degree
-// and Accuracy are the state at the end of the interval (core 0's, the
-// interesting one for single-core runs).
+// and Accuracy are the state at the end of the interval, averaged
+// across every core whose prefetcher exposes a snapshot (exactly core
+// 0's values on a single-core run).
 type ClassSample struct {
 	Issued   uint64  `json:"issued"`
 	Fills    uint64  `json:"fills"`
@@ -35,6 +36,15 @@ type Sample struct {
 	L1DMPKI float64 `json:"l1d_mpki"`
 	L2MPKI  float64 `json:"l2_mpki"`
 	LLCMPKI float64 `json:"llc_mpki"`
+
+	// L1DMisses/L2Misses/LLCMisses are the raw demand-miss deltas the
+	// MPKI columns are computed from. Unlike the MPKIs — which are
+	// zeroed when an interval retires no instructions — they are
+	// always recorded, so summing any counter column over the
+	// timeline reproduces the end-of-run total exactly.
+	L1DMisses uint64 `json:"l1d_misses"`
+	L2Misses  uint64 `json:"l2_misses"`
+	LLCMisses uint64 `json:"llc_misses"`
 
 	// DRAMBytes is data moved on the DRAM bus in the interval;
 	// DRAMBusUtil the fraction of DRAM cycles the bus was busy.
@@ -88,7 +98,9 @@ var sampledClasses = []memsys.PrefetchClass{
 func CSVHeader() []string {
 	cols := []string{
 		"interval", "start_cycle", "end_cycle", "instructions", "ipc",
-		"l1d_mpki", "l2_mpki", "llc_mpki", "dram_bytes", "dram_bus_util",
+		"l1d_mpki", "l2_mpki", "llc_mpki",
+		"l1d_misses", "l2_misses", "llc_misses",
+		"dram_bytes", "dram_bus_util",
 	}
 	for _, c := range sampledClasses {
 		n := c.String()
@@ -114,9 +126,11 @@ func (l *IntervalLog) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, s := range l.samples {
-		row := fmt.Sprintf("%d,%d,%d,%d,%.6f,%.4f,%.4f,%.4f,%d,%.6f",
+		row := fmt.Sprintf("%d,%d,%d,%d,%.6f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%.6f",
 			s.Index, s.StartCycle, s.EndCycle, s.Instructions, s.IPC,
-			s.L1DMPKI, s.L2MPKI, s.LLCMPKI, s.DRAMBytes, s.DRAMBusUtil)
+			s.L1DMPKI, s.L2MPKI, s.LLCMPKI,
+			s.L1DMisses, s.L2Misses, s.LLCMisses,
+			s.DRAMBytes, s.DRAMBusUtil)
 		for _, c := range sampledClasses {
 			cs := s.Classes[c]
 			row += fmt.Sprintf(",%d,%d,%d,%d,%.4f",

@@ -1,0 +1,71 @@
+// Parallel-engine throughput benches: the same 8-core heterogeneous
+// mix stepped by the sequential scheduler and by the parallel
+// epoch-barrier engine. Both report *aggregate* instr/s (instructions
+// summed across all cores), so on a multi-CPU host the pair directly
+// exposes the parallel speedup; `make benchgate` holds their ratio on
+// hosts with enough CPUs. On a single-CPU host the parallel engine
+// degenerates to cooperative scheduling (Gosched-driven spins) and the
+// pair instead bounds its coordination overhead.
+package ipcp_test
+
+import (
+	"testing"
+
+	"ipcp/internal/sim"
+	"ipcp/internal/trace"
+	"ipcp/internal/workload"
+)
+
+// benchMix8 spans the paper's Fig. 15 spatial classes twice over:
+// dense streaming (lbm, bwaves, roms), irregular (mcf, omnetpp),
+// constant stride (exchange2), and big-code (gcc, xalancbmk).
+var benchMix8 = []string{
+	"lbm-94", "mcf-1536", "bwaves-2931", "exchange2-387",
+	"roms-1070", "omnetpp-17", "gcc-2226", "xalancbmk-165",
+}
+
+func benchMixThroughput(b *testing.B, parallel bool) {
+	const instrPerCorePerOp = 5_000
+	cfg := sim.PaperConfig(len(benchMix8))
+	cfg.L1DPrefetcher = sim.PrefetcherSpec{Name: "ipcp"}
+	cfg.L2Prefetcher = sim.PrefetcherSpec{Name: "ipcp"}
+	cfg.ParallelCores = parallel
+	streams := make([]trace.Stream, len(benchMix8))
+	for i, name := range benchMix8 {
+		w, err := workload.Named(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams[i] = w.New(1)
+	}
+	sys, err := sim.Build(cfg, streams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pools, rings, and page tables past their growth phase.
+	if err := sys.Advance(20_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Advance(instrPerCorePerOp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	aggregate := float64(instrPerCorePerOp * len(benchMix8))
+	b.ReportMetric(aggregate*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkMultiCoreSeqThroughput is the sequential baseline of the
+// pair: the 8-core mix stepped by the single-goroutine scheduler.
+func BenchmarkMultiCoreSeqThroughput(b *testing.B) {
+	benchMixThroughput(b, false)
+}
+
+// BenchmarkParallelThroughput steps the same mix with one goroutine
+// per core slice under the deterministic epoch barrier. Results are
+// bit-identical to the sequential run (see TestParallelMatchesSequential
+// and the audit differential); only wall-clock differs.
+func BenchmarkParallelThroughput(b *testing.B) {
+	benchMixThroughput(b, true)
+}
